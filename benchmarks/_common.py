@@ -1,0 +1,38 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one artifact of the paper (a table or a
+figure) through the experiment registry, times it with
+pytest-benchmark, prints the regenerated rows/series, and archives
+them under ``benchmarks/results/<exp_id>.txt`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.experiments import REGISTRY, Report, Scale, run_experiment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_experiment(benchmark, exp_id: str,
+                     scale: Scale = Scale.BENCH) -> Report:
+    """Run one registry experiment under pytest-benchmark."""
+    holder = {}
+
+    def run() -> None:
+        holder["report"] = run_experiment(exp_id, scale)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = holder["report"]
+    text = report.text()
+    note = REGISTRY[exp_id].shape_note
+    body = f"{text}\n[expected shape: {note}]\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{exp_id}.txt")
+    with open(path, "w") as fh:
+        fh.write(body)
+    print()
+    print(body)
+    return report

@@ -1,0 +1,11 @@
+"""DESIGN.md A1: Ablation: run-length diffs versus whole-page transfers on the fault path.
+
+Regenerates the artifact via the experiment registry (id: ``a1``)
+and archives the rows under ``benchmarks/results/a1.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_a1(benchmark):
+    bench_experiment(benchmark, "a1")

@@ -1,0 +1,11 @@
+"""DESIGN.md A2: Ablation: lazy versus eager release across applications — eager helps unsynchronized readers, hurts lock-heavy codes.
+
+Regenerates the artifact via the experiment registry (id: ``a2``)
+and archives the rows under ``benchmarks/results/a2.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_a2(benchmark):
+    bench_experiment(benchmark, "a2")

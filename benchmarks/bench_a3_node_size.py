@@ -1,0 +1,11 @@
+"""DESIGN.md A3: Ablation: HS node-size sweep — message reduction versus intra-node serialization.
+
+Regenerates the artifact via the experiment registry (id: ``a3``)
+and archives the rows under ``benchmarks/results/a3.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_a3(benchmark):
+    bench_experiment(benchmark, "a3")

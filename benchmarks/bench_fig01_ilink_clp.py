@@ -1,0 +1,11 @@
+"""Figure 1: ILINK speedups on the CLP-like input: the SGI leads TreadMarks by the smallest ILINK margin (coarse grain, ~0.5 barriers/s).
+
+Regenerates the artifact via the experiment registry (id: ``fig1``)
+and archives the rows under ``benchmarks/results/fig1.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig1(benchmark):
+    bench_experiment(benchmark, "fig1")

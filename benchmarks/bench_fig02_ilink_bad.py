@@ -1,0 +1,11 @@
+"""Figure 2: ILINK speedups on the BAD-like input: fine grain and a high barrier rate widen the SGI-TreadMarks gap.
+
+Regenerates the artifact via the experiment registry (id: ``fig2``)
+and archives the rows under ``benchmarks/results/fig2.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig2(benchmark):
+    bench_experiment(benchmark, "fig2")

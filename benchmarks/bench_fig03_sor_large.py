@@ -1,0 +1,11 @@
+"""Figure 3: Large SOR (paper: 2000x1000): TreadMarks above the SGI — the grid thrashes the SGI L2 and its shared bus saturates, while each DECstation streams from private memory and diffs stay tiny.
+
+Regenerates the artifact via the experiment registry (id: ``fig3``)
+and archives the rows under ``benchmarks/results/fig3.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig3(benchmark):
+    bench_experiment(benchmark, "fig3")

@@ -1,0 +1,11 @@
+"""Figure 4: Small SOR (paper: 1000x1000, chosen to fit the SGI L2 at 8 processors): TreadMarks remains competitive.
+
+Regenerates the artifact via the experiment registry (id: ``fig4``)
+and archives the rows under ``benchmarks/results/fig4.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig4(benchmark):
+    bench_experiment(benchmark, "fig4")

@@ -1,0 +1,11 @@
+"""Figure 5: TSP, 19-city-equivalent instance: the SGI's immediately-visible bound prunes better, so it leads TreadMarks.
+
+Regenerates the artifact via the experiment registry (id: ``fig5``)
+and archives the rows under ``benchmarks/results/fig5.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig5(benchmark):
+    bench_experiment(benchmark, "fig5")

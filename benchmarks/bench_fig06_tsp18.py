@@ -1,0 +1,11 @@
+"""Figure 6: TSP, 18-city-equivalent instance: a smaller problem raises the sync-to-compute ratio and widens the gap slightly.
+
+Regenerates the artifact via the experiment registry (id: ``fig6``)
+and archives the rows under ``benchmarks/results/fig6.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig6(benchmark):
+    bench_experiment(benchmark, "fig6")

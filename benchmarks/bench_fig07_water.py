@@ -1,0 +1,11 @@
+"""Figure 7: Original Water (one lock per force update): TreadMarks collapses under the message rate; the SGI scales.
+
+Regenerates the artifact via the experiment registry (id: ``fig7``)
+and archives the rows under ``benchmarks/results/fig7.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig7(benchmark):
+    bench_experiment(benchmark, "fig7")

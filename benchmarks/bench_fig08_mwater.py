@@ -1,0 +1,11 @@
+"""Figure 8: M-Water (accumulate locally, one locked update per molecule): TreadMarks recovers real speedup; the SGI is nearly unchanged versus Water.
+
+Regenerates the artifact via the experiment registry (id: ``fig8``)
+and archives the rows under ``benchmarks/results/fig8.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig8(benchmark):
+    bench_experiment(benchmark, "fig8")

@@ -1,0 +1,11 @@
+"""Figure 9: SOR on the simulated AS/AH/HS machines up to 64 processors: AH and HS near-linear, AS sub-linear.
+
+Regenerates the artifact via the experiment registry (id: ``fig9``)
+and archives the rows under ``benchmarks/results/fig9.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig9(benchmark):
+    bench_experiment(benchmark, "fig9")

@@ -1,0 +1,11 @@
+"""Figure 10: TSP on AS/AH/HS: AH and HS comparable, AS falls off as communication latency stops being amortized.
+
+Regenerates the artifact via the experiment registry (id: ``fig10``)
+and archives the rows under ``benchmarks/results/fig10.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig10(benchmark):
+    bench_experiment(benchmark, "fig10")

@@ -1,0 +1,11 @@
+"""Figure 11: M-Water on AS/AH/HS: only AH keeps improving; AS peaks at a small processor count, HS mid-range.
+
+Regenerates the artifact via the experiment registry (id: ``fig11``)
+and archives the rows under ``benchmarks/results/fig11.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig11(benchmark):
+    bench_experiment(benchmark, "fig11")

@@ -1,0 +1,11 @@
+"""Figure 12: Total messages at the largest simulated machine, HS versus AS, split into miss and synchronization messages.
+
+Regenerates the artifact via the experiment registry (id: ``fig12``)
+and archives the rows under ``benchmarks/results/fig12.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig12(benchmark):
+    bench_experiment(benchmark, "fig12")

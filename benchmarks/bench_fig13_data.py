@@ -1,0 +1,11 @@
+"""Figure 13: Total data at the largest simulated machine, HS versus AS, split into miss, consistency, and header bytes.
+
+Regenerates the artifact via the experiment registry (id: ``fig13``)
+and archives the rows under ``benchmarks/results/fig13.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig13(benchmark):
+    bench_experiment(benchmark, "fig13")

@@ -1,0 +1,11 @@
+"""Figure 14: Software-overhead sweep for SOR on AS: the fixed per-message cost dominates.
+
+Regenerates the artifact via the experiment registry (id: ``fig14``)
+and archives the rows under ``benchmarks/results/fig14.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig14(benchmark):
+    bench_experiment(benchmark, "fig14")

@@ -1,0 +1,11 @@
+"""Figure 15: Software-overhead sweep for M-Water on AS: fixed and per-word costs matter about equally.
+
+Regenerates the artifact via the experiment registry (id: ``fig15``)
+and archives the rows under ``benchmarks/results/fig15.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig15(benchmark):
+    bench_experiment(benchmark, "fig15")

@@ -1,0 +1,11 @@
+"""Figure 16: Software-overhead sweep for M-Water on HS: with diffs already coalesced per node, the fixed cost dominates.
+
+Regenerates the artifact via the experiment registry (id: ``fig16``)
+and archives the rows under ``benchmarks/results/fig16.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fig16(benchmark):
+    bench_experiment(benchmark, "fig16")

@@ -1,0 +1,11 @@
+"""Table 1: Single-processor execution times on the DECstation (with and without TreadMarks) and the SGI 4D/480. The DSM must add ~nothing at one processor; the SGI must lag only when the working set exceeds its 1 MB L2.
+
+Regenerates the artifact via the experiment registry (id: ``t1``)
+and archives the rows under ``benchmarks/results/t1.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_t1(benchmark):
+    bench_experiment(benchmark, "t1")

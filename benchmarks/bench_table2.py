@@ -1,0 +1,11 @@
+"""Table 2: 8-processor TreadMarks execution statistics: barriers/s, remote locks/s, messages/s and Kbytes/s for all eight workloads. The synchronization-rate ordering across applications is the quantity under test.
+
+Regenerates the artifact via the experiment registry (id: ``t2``)
+and archives the rows under ``benchmarks/results/t2.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_t2(benchmark):
+    bench_experiment(benchmark, "t2")

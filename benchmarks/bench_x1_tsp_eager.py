@@ -1,0 +1,11 @@
+"""Section 2.4.3: TSP with an eager release on the bound lock: pushing the bound at release time removes most of the redundant work.
+
+Regenerates the artifact via the experiment registry (id: ``x1``)
+and archives the rows under ``benchmarks/results/x1.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_x1(benchmark):
+    bench_experiment(benchmark, "x1")

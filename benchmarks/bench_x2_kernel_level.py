@@ -1,0 +1,11 @@
+"""Section 2.4.4: Kernel-level TreadMarks: halved messaging costs barely move the barrier applications but sharply improve M-Water.
+
+Regenerates the artifact via the experiment registry (id: ``x2``)
+and archives the rows under ``benchmarks/results/x2.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_x2(benchmark):
+    bench_experiment(benchmark, "x2")

@@ -1,0 +1,11 @@
+"""Sections 2.3/2.4.2: SOR control experiment where every point changes every iteration, equalizing data movement between TreadMarks and the SGI.
+
+Regenerates the artifact via the experiment registry (id: ``x3``)
+and archives the rows under ``benchmarks/results/x3.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_x3(benchmark):
+    bench_experiment(benchmark, "x3")

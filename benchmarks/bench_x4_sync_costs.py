@@ -1,0 +1,12 @@
+"""Section 2.2 / 2.4.4: minimum remote lock acquisition time and
+8-processor barrier time, user-level vs kernel-level TreadMarks.
+
+Regenerates the artifact via the experiment registry (id: ``x4``)
+and archives the rows under ``benchmarks/results/x4.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_x4(benchmark):
+    bench_experiment(benchmark, "x4")

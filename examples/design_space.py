@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The AS / AH / HS design space beyond eight processors (§3).
+
+Three ways to build a 32-processor shared-memory machine:
+
+* **AS** — all-software: uniprocessor workstations, a commodity
+  network, TreadMarks between them.  Cheapest; scales worst.
+* **AH** — all-hardware: a crossbar and directory-based cache
+  coherence.  Fastest; needs custom controllers.
+* **HS** — hardware-software hybrid: 8-way bus SMP nodes glued by
+  TreadMarks.  Commodity parts, and the DSM treats each node as one:
+  co-resident faults coalesce and per-node diffs merge.
+
+This example runs SOR and M-Water at 32 processors on all three and
+breaks HS's traffic down against AS's, the paper's Figures 12-13.
+
+Run:  python examples/design_space.py   (takes a minute or two)
+"""
+
+from repro import (AllHardwareMachine, AllSoftwareMachine, HybridMachine,
+                   SorApp, WaterApp)
+
+PROCS = 32
+
+
+def speedup(machine, app_factory):
+    base = machine.run(app_factory(), 1)
+    top = machine.run(app_factory(), PROCS)
+    return base.seconds / top.seconds, top
+
+
+def main() -> None:
+    workloads = [
+        ("SOR", lambda: SorApp(rows=512, cols=512, iterations=3)),
+        ("M-Water", lambda: WaterApp(molecules=128, steps=2,
+                                     modified=True)),
+    ]
+    machines = [("AH", AllHardwareMachine()), ("HS", HybridMachine()),
+                ("AS", AllSoftwareMachine())]
+
+    tops = {}
+    for wl_name, factory in workloads:
+        print(f"=== {wl_name} at {PROCS} processors ===")
+        for arch, machine in machines:
+            sp, top = speedup(machine, factory)
+            tops[(wl_name, arch)] = top
+            print(f"  {arch}: speedup {sp:6.2f}   messages "
+                  f"{top.counters.total_messages:>8,}   data "
+                  f"{top.counters.total_bytes / 1024:>9,.0f} KB")
+        print()
+
+    print("=== HS traffic as a fraction of AS (Figures 12-13) ===")
+    for wl_name, _factory in workloads:
+        as_c = tops[(wl_name, "AS")].counters
+        hs_c = tops[(wl_name, "HS")].counters
+        if as_c.total_messages:
+            msg_pct = 100 * hs_c.total_messages / as_c.total_messages
+            data_pct = 100 * hs_c.total_bytes / max(1, as_c.total_bytes)
+            print(f"  {wl_name:<8} messages {msg_pct:5.1f}%   "
+                  f"data {data_pct:5.1f}%   "
+                  f"(miss {hs_c.miss_data_bytes // 1024} KB / "
+                  f"consistency {hs_c.consistency_bytes // 1024} KB / "
+                  f"headers {hs_c.header_bytes // 1024} KB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quickstart: software vs. hardware shared memory in ten lines.
+
+Runs Red-Black SOR on the two experimental platforms of Cox et al.
+(ISCA 1994) — TreadMarks on an ATM LAN of DECstations, and the SGI
+4D/480 bus multiprocessor — and prints speedup curves.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DecTreadMarksMachine, SgiMachine, SorApp
+
+
+def main() -> None:
+    app = SorApp(rows=500, cols=500, iterations=4)
+    procs = (1, 2, 4, 8)
+
+    print(f"Red-Black SOR, {app.name}, speedups vs 1 processor\n")
+    print(f"{'machine':<12}" + "".join(f"p={p:<7}" for p in procs))
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        base = machine.run(app, 1)
+        row = [f"{machine.name:<12}"]
+        for p in procs:
+            result = base if p == 1 else machine.run(app, p)
+            row.append(f"{base.seconds / result.seconds:<9.2f}")
+        print("".join(row))
+
+    print("\nTreadMarks is software-only: page faults, diffs and")
+    print("messages replace the SGI's snooping-bus transactions.")
+    tm8 = DecTreadMarksMachine().run(app, 8)
+    print(f"  8-processor TreadMarks run: "
+          f"{tm8.counters.total_messages} messages, "
+          f"{tm8.counters.total_bytes / 1024:.0f} KB moved, "
+          f"{tm8.counters.page_faults} page faults, "
+          f"{tm8.counters.diffs_created} diffs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Locking granularity makes or breaks software DSM (§2.4.4).
+
+SPLASH Water acquires a lock around *every single* force update — a
+discipline that is nearly free on a bus machine (the lock word stays
+in somebody's cache) and catastrophic on TreadMarks, where each remote
+acquisition is a multi-message, near-millisecond operation.
+
+M-Water accumulates contributions locally and applies them once per
+molecule per time step, cutting the lock rate by an order of
+magnitude.  The hardware machine barely notices the difference; the
+software machine goes from slowdown to real speedup — and moving
+TreadMarks into the kernel (halving message costs) helps M-Water far
+more than any barrier-based application.
+
+Run:  python examples/water_locking.py
+"""
+
+from repro import DecTreadMarksMachine, SgiMachine, WaterApp
+
+MOLECULES = 96
+STEPS = 2
+
+
+def report(label, machine, modified):
+    app = WaterApp(molecules=MOLECULES, steps=STEPS, modified=modified)
+    base = machine.run(app, 1)
+    top = machine.run(app, 8)
+    sp = base.seconds / top.seconds
+    print(f"  {label:<34} speedup@8 {sp:5.2f}   "
+          f"lock acquires {top.counters.lock_acquires:>7,}   "
+          f"remote {top.counters.remote_lock_acquires:>6,}")
+    return sp
+
+
+def main() -> None:
+    print(f"Water, {MOLECULES} molecules, {STEPS} steps\n")
+    print("SGI 4D/480 (hardware locks are cache-resident):")
+    report("Water  (lock per update)", SgiMachine(), modified=False)
+    report("M-Water (lock per molecule)", SgiMachine(), modified=True)
+
+    print("\nTreadMarks, user level (remote lock ~ a millisecond):")
+    report("Water  (lock per update)", DecTreadMarksMachine(), False)
+    report("M-Water (lock per molecule)", DecTreadMarksMachine(), True)
+
+    print("\nTreadMarks, kernel level (§2.4.4: halved message costs):")
+    report("M-Water (lock per molecule)",
+           DecTreadMarksMachine(kernel_level=True), True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro: software vs. hardware shared memory (Cox et al., ISCA 1994).
+
+An execution-driven reproduction of the paper's two studies:
+
+1. TreadMarks (lazy release consistency on an ATM LAN of DECstations)
+   versus the SGI 4D/480 bus multiprocessor, up to 8 processors.
+2. The simulated AS / AH / HS design space up to 64 processors.
+
+Quickstart::
+
+    from repro import SorApp, DecTreadMarksMachine, SgiMachine
+
+    app = SorApp(rows=1000, cols=1000, iterations=6)
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        base = machine.run(app, 1)
+        result = machine.run(app, 8)
+        print(machine.name, base.seconds / result.seconds)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.apps import (Application, AppContext, IlinkApp, SorApp, TspApp,
+                        WaterApp)
+from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
+                            DecTreadMarksMachine, HybridMachine, Machine,
+                            SgiMachine)
+from repro.net.overhead import OverheadPreset, SoftwareOverhead
+from repro.stats import Counters, RunResult, SpeedupSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "AppContext",
+    "SorApp",
+    "TspApp",
+    "WaterApp",
+    "IlinkApp",
+    "Machine",
+    "DecTreadMarksMachine",
+    "SgiMachine",
+    "AllSoftwareMachine",
+    "AllHardwareMachine",
+    "HybridMachine",
+    "OverheadPreset",
+    "SoftwareOverhead",
+    "Counters",
+    "RunResult",
+    "SpeedupSeries",
+    "__version__",
+]

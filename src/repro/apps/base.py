@@ -1,0 +1,94 @@
+"""Application base class and per-run context.
+
+An :class:`Application` is a *description* of a workload: its regions,
+its initial data, and one generator program per processor.  All run
+state lives in the shared store or in generator locals, so one
+application instance can be run repeatedly, on any machine, at any
+processor count — which is exactly what the speedup experiments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Iterator, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.store import SharedStore
+
+Program = Generator[Any, Any, None]
+
+
+@dataclass
+class AppContext:
+    """Everything one run hands its processor programs."""
+
+    store: SharedStore
+    nprocs: int
+    seed: int = 42
+    params: Dict[str, Any] = field(default_factory=dict)
+    output: Dict[str, Any] = field(default_factory=dict)
+
+    def rng(self, stream: int = 0) -> np.random.Generator:
+        """A deterministic RNG; distinct streams stay independent."""
+        return np.random.default_rng((self.seed, stream))
+
+
+class Application:
+    """Base class for workloads; subclasses implement three hooks."""
+
+    #: Short identifier used in reports ("sor", "tsp", ...).
+    name: str = "app"
+
+    def regions(self, nprocs: int) -> Dict[str, int]:
+        """Named shared regions and their sizes in bytes."""
+        raise NotImplementedError
+
+    def init_data(self, ctx: AppContext) -> None:
+        """Populate the store's regions before the run (optional)."""
+
+    def programs(self, ctx: AppContext) -> List[Program]:
+        """One generator per processor, ``ctx.nprocs`` of them."""
+        raise NotImplementedError
+
+    def verify(self, ctx: AppContext) -> Dict[str, Any]:
+        """Post-run invariant checks; returns result values (optional).
+
+        Raise :class:`AssertionError` (or return diagnostics) if the
+        computation produced wrong answers — timing models must never
+        change results for data-race-free programs.
+        """
+        return {}
+
+    # ------------------------------------------------------------------
+    def check_nprocs(self, nprocs: int) -> None:
+        if nprocs < 1:
+            raise ConfigurationError(f"nprocs must be >= 1: {nprocs}")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} '{self.name}'>"
+
+
+def chunk_ranges(total: int, parts: int) -> List[range]:
+    """Split ``range(total)`` into ``parts`` contiguous chunks.
+
+    Sizes differ by at most one; the canonical band partitioning used
+    by SOR and the molecule partitioning used by Water.
+    """
+    if parts <= 0:
+        raise ConfigurationError(f"parts must be >= 1: {parts}")
+    base = total // parts
+    extra = total % parts
+    out: List[range] = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+def interleaved(total: int, parts: int, which: int) -> Iterator[int]:
+    """Indices ``which, which+parts, ...`` below ``total`` (round robin)."""
+    return iter(range(which, total, parts))

@@ -1,0 +1,140 @@
+"""Synthetic genetic-linkage workload standing in for ILINK (§2.3).
+
+Real ILINK inputs (the CLP and BAD pedigree datasets) are proprietary
+clinical data, so this module generates a workload with the traffic
+and load-balance character the paper reports instead (see DESIGN.md's
+substitution table):
+
+* an outer loop of likelihood-evaluation *iterations*, each ending in
+  a barrier;
+* per iteration, a fixed set of pedigree-traversal *work units* whose
+  costs are drawn from a lognormal distribution and assigned
+  round-robin — the inherent load imbalance the paper attributes to
+  the algorithm (§2.4.1);
+* each processor recomputes its slice of a shared genotype-probability
+  array, which every processor reads back at the start of the next
+  iteration — the communication volume knob.
+
+The probability arrays are double-buffered (read the previous
+iteration's buffer, write the next), so the computation is
+data-race-free and produces identical values on every machine model.
+
+Preset ``clp`` (best speedup: coarse units, small array, mild
+imbalance) and preset ``bad`` (worst: fine grain, larger array, strong
+imbalance) bracket the paper's input range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.base import AppContext, Application, Program, chunk_ranges
+from repro.apps import ops
+from repro.errors import ConfigurationError
+
+FLOAT = np.float64
+
+#: Processor cycles per unit of pedigree-traversal weight.
+CYCLES_PER_WEIGHT = 400
+
+PRESETS = {
+    # iterations, total work units (fixed problem size), mean unit
+    # weight, lognormal sigma, genotype-array size
+    "clp": dict(iterations=8, units_total=48, mean_weight=26000.0,
+                sigma=0.30, genarray_kbytes=64),
+    "bad": dict(iterations=24, units_total=24, mean_weight=8300.0,
+                sigma=0.75, genarray_kbytes=128),
+}
+
+
+class IlinkApp(Application):
+    """Parameterized synthetic ILINK; use presets ``clp`` / ``bad``."""
+
+    name = "ilink"
+
+    def __init__(self, preset: str = "clp", *, iterations: int = None,
+                 units_total: int = None, mean_weight: float = None,
+                 sigma: float = None, genarray_kbytes: int = None) -> None:
+        if preset not in PRESETS:
+            raise ConfigurationError(
+                f"unknown ILINK preset '{preset}'; choose from "
+                f"{sorted(PRESETS)}")
+        config = dict(PRESETS[preset])
+        overrides = dict(iterations=iterations, units_total=units_total,
+                         mean_weight=mean_weight, sigma=sigma,
+                         genarray_kbytes=genarray_kbytes)
+        for key, value in overrides.items():
+            if value is not None:
+                config[key] = value
+        self.preset = preset
+        self.iterations = config["iterations"]
+        self.units_total = config["units_total"]
+        self.mean_weight = config["mean_weight"]
+        self.sigma = config["sigma"]
+        self.genarray_bytes = config["genarray_kbytes"] * 1024
+        self.name = f"ilink-{preset}"
+
+    # ------------------------------------------------------------------
+    def regions(self, nprocs: int) -> Dict[str, int]:
+        return {"gen_a": self.genarray_bytes, "gen_b": self.genarray_bytes}
+
+    def init_data(self, ctx: AppContext) -> None:
+        for region in ("gen_a", "gen_b"):
+            gen = ctx.store.view(region, FLOAT)
+            gen[:] = 1.0 / max(1, gen.size)
+
+    def _weights(self, ctx: AppContext, iteration: int) -> np.ndarray:
+        """Per-unit costs for one iteration (same on every machine,
+        every processor count: the problem size is fixed)."""
+        rng = ctx.rng(stream=1000 + iteration)
+        raw = rng.lognormal(mean=0.0, sigma=self.sigma,
+                            size=self.units_total)
+        return raw * self.mean_weight
+
+    # ------------------------------------------------------------------
+    def programs(self, ctx: AppContext) -> List[Program]:
+        return [self._worker(ctx, p) for p in range(ctx.nprocs)]
+
+    def _worker(self, ctx: AppContext, proc: int) -> Program:
+        size = self.genarray_bytes // 8
+        slices = chunk_ranges(size, ctx.nprocs)
+        mine = slices[proc]
+        my_off = mine.start * 8
+        my_bytes = len(mine) * 8
+
+        for it in range(self.iterations):
+            src = "gen_a" if it % 2 == 0 else "gen_b"
+            dst = "gen_b" if it % 2 == 0 else "gen_a"
+
+            # Read the whole genotype array from the last iteration.
+            yield ops.Read(src, 0, self.genarray_bytes)
+            snapshot = ctx.store.view(src, FLOAT).copy()
+
+            # Round-robin work units; lognormal weights make the
+            # per-processor sums unequal (inherent load imbalance).
+            weights = self._weights(ctx, it)
+            my_weight = float(weights[proc::ctx.nprocs].sum())
+            yield ops.Compute(int(my_weight * CYCLES_PER_WEIGHT))
+
+            if len(mine):
+                # Recompute my slice of the genotype probabilities: a
+                # damped mixing update (a stand-in for peeling).
+                neighbour = np.roll(snapshot, 1)[mine.start:mine.stop]
+                new_vals = (0.6 * snapshot[mine.start:mine.stop] +
+                            0.4 * neighbour + 1e-9 * (it + 1))
+                changed = ctx.store.count_changed_bytes(dst, my_off,
+                                                        new_vals)
+                ctx.store.write(dst, my_off, new_vals)
+                yield ops.Write(dst, my_off, my_bytes,
+                                changed_bytes=changed)
+            yield ops.Barrier()
+
+    # ------------------------------------------------------------------
+    def verify(self, ctx: AppContext) -> Dict[str, float]:
+        final = "gen_a" if self.iterations % 2 == 0 else "gen_b"
+        gen = ctx.store.view(final, FLOAT)
+        out = {"checksum": float(gen.sum())}
+        assert np.isfinite(gen).all(), "genarray must stay finite"
+        return out

@@ -1,0 +1,299 @@
+"""Branch-and-bound travelling salesman (§2.3, §2.4.3).
+
+A shared queue of partial tours is guarded by a lock; each worker pops
+a partial tour, extends it, and pushes the children back, solving
+small-enough subproblems to completion locally.  The global
+minimum-tour bound is updated under its own lock but *read without
+synchronization*, so the value a worker prunes against is whatever its
+machine's consistency model makes visible (``ops.ReadBound``).  Stale
+bounds prune less and cause redundant expansions — the paper's
+explanation for TSP's TreadMarks/SGI gap, and the effect its eager
+release experiment removes.
+
+Full 18/19-city instances are far too large for a pure-Python
+simulation, so the presets scale the instance down (see DESIGN.md):
+``tsp18``-equivalent uses 12 cities, ``tsp19``-equivalent 13.  The
+branch-and-bound structure, queue discipline, and bound-staleness
+sensitivity — the properties the paper measures — are unchanged.
+
+The search explores the same tree regardless of machine timing *given
+the same pruning decisions*; the final optimum is always exact (every
+completed tour is checked against the committed bound), only the
+amount of redundant work varies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppContext, Application, Program
+from repro.apps import ops
+from repro.errors import ConfigurationError
+
+QUEUE_LOCK = 0
+BOUND_LOCK = 1
+
+#: Shared queue slot size: tour prefix + length (int32 fields).
+SLOT_BYTES = 128
+
+#: Cycles charged at each visited search node.  Deliberately larger
+#: than a literal count of the per-node instructions: the simulated
+#: instances are scaled down from the paper's 18/19 cities (whose
+#: trees have orders of magnitude more nodes), and this constant
+#: restores the paper's compute-to-queue-access ratio (see DESIGN.md).
+CYCLES_PER_EXPANSION = 10_000
+
+#: Idle workers re-poll the queue with exponential backoff in this
+#: range, so a straggler solving a deep leaf is not drowned in
+#: lock-token ping-pong from the other seven processors.
+IDLE_BACKOFF_MIN_CYCLES = 20000
+IDLE_BACKOFF_MAX_CYCLES = 1_000_000
+
+#: How many search nodes a worker expands between re-reads of the
+#: unsynchronized global bound (§2.4.3).
+BOUND_POLL_EXPANSIONS = 200
+
+Tour = Tuple[Tuple[int, ...], float]
+
+
+class TspApp(Application):
+    """Branch-and-bound TSP over random Euclidean cities."""
+
+    name = "tsp"
+
+    def __init__(self, cities: int = 12, *, leaf_cutoff: int = 7,
+                 queue_capacity: int = 4096, coord_seed: int = 7) -> None:
+        if cities < 4:
+            raise ConfigurationError(f"need at least 4 cities: {cities}")
+        if leaf_cutoff < 2:
+            raise ConfigurationError(
+                f"leaf_cutoff must be >= 2: {leaf_cutoff}")
+        self.cities = cities
+        self.leaf_cutoff = leaf_cutoff
+        self.queue_capacity = queue_capacity
+        self.coord_seed = coord_seed
+        self.name = f"tsp-{cities}"
+
+    # ------------------------------------------------------------------
+    def regions(self, nprocs: int) -> Dict[str, int]:
+        return {
+            "tsp_queue": self.queue_capacity * SLOT_BYTES,
+            "tsp_bound": 4096,
+            "tsp_dist": self.cities * self.cities * 8,
+        }
+
+    def _distances(self) -> np.ndarray:
+        rng = np.random.default_rng(self.coord_seed)
+        pts = rng.random((self.cities, 2)) * 100.0
+        diff = pts[:, None, :] - pts[None, :, :]
+        return np.sqrt((diff ** 2).sum(axis=2))
+
+    def init_data(self, ctx: AppContext) -> None:
+        dist = self._distances()
+        ctx.store.view("tsp_dist", np.float64)[: dist.size] = dist.ravel()
+        # Shared run state that models the queue contents; all access
+        # is serialized by the simulated queue lock.
+        ctx.params["_queue"] = [((0,), 0.0)]
+        ctx.params["_active"] = 0
+        ctx.params["_expansions"] = [0] * ctx.nprocs
+        ctx.params["_best_tour"] = None
+
+    # ------------------------------------------------------------------
+    def _min_edges(self, dist: np.ndarray) -> np.ndarray:
+        masked = dist.copy()
+        np.fill_diagonal(masked, np.inf)
+        return masked.min(axis=1)
+
+    def _lower_bound(self, dist: np.ndarray, min_edge: np.ndarray,
+                     prefix: Tuple[int, ...], length: float) -> float:
+        remaining = [c for c in range(self.cities) if c not in prefix]
+        if not remaining:
+            return length + dist[prefix[-1], prefix[0]]
+        return length + float(min_edge[remaining].sum()) \
+            + float(min_edge[prefix[0]])
+
+    def _solve_local(self, dist: np.ndarray, min_edge: np.ndarray,
+                     prefix: Tuple[int, ...], length: float,
+                     bound: float) -> Tuple[int, float, Tuple[int, ...]]:
+        """Depth-first solve of a small subproblem against ``bound``.
+
+        Returns (expansions, best length found, best tour found).
+        """
+        expansions = 0
+        best = bound
+        best_tour: Tuple[int, ...] = ()
+        stack = [(prefix, length)]
+        while stack:
+            pfx, plen = stack.pop()
+            expansions += 1
+            if len(pfx) == self.cities:
+                total = plen + dist[pfx[-1], pfx[0]]
+                if total < best:
+                    best = total
+                    best_tour = pfx
+                continue
+            if self._lower_bound(dist, min_edge, pfx, plen) >= best:
+                continue
+            last = pfx[-1]
+            for city in range(self.cities):
+                if city in pfx:
+                    continue
+                nlen = plen + dist[last, city]
+                child = pfx + (city,)
+                if self._lower_bound(dist, min_edge, child, nlen) < best:
+                    stack.append((child, nlen))
+        return expansions, best, best_tour
+
+    # ------------------------------------------------------------------
+    def programs(self, ctx: AppContext) -> List[Program]:
+        return [self._worker(ctx, p) for p in range(ctx.nprocs)]
+
+    def _worker(self, ctx: AppContext, proc: int) -> Program:
+        dist = self._distances()
+        min_edge = self._min_edges(dist)
+        queue: List[Tour] = ctx.params["_queue"]
+
+        working = False
+        backoff = IDLE_BACKOFF_MIN_CYCLES
+        while True:
+            # ---- pop one partial tour from the shared queue --------
+            # The same critical section also retires the previous item
+            # (decrements the active-worker count), so each unit of
+            # work costs one queue-lock round trip.
+            yield ops.Acquire(QUEUE_LOCK)
+            if working:
+                ctx.params["_active"] -= 1
+                working = False
+            if not queue:
+                idle = ctx.params["_active"] == 0
+                yield ops.Release(QUEUE_LOCK)
+                if idle:
+                    break
+                yield ops.Compute(backoff)
+                backoff = min(backoff * 2, IDLE_BACKOFF_MAX_CYCLES)
+                continue
+            backoff = IDLE_BACKOFF_MIN_CYCLES
+            prefix, length = queue.pop()
+            ctx.params["_active"] += 1
+            working = True
+            slot = len(queue) % self.queue_capacity
+            yield ops.Read("tsp_queue", slot * SLOT_BYTES, SLOT_BYTES)
+            yield ops.Release(QUEUE_LOCK)
+
+            visible = yield ops.ReadBound()
+            pruned = self._lower_bound(dist, min_edge, prefix,
+                                       length) >= visible
+            free = self.cities - len(prefix)
+
+            if pruned:
+                ctx.params["_expansions"][proc] += 1
+                yield ops.Compute(CYCLES_PER_EXPANSION)
+            elif free <= self.leaf_cutoff:
+                yield from self._finish_subproblem(
+                    ctx, proc, dist, min_edge, prefix, length, visible)
+            else:
+                yield from self._expand(ctx, proc, dist, min_edge, prefix,
+                                        length, visible, queue)
+
+        ctx.output[f"expansions_p{proc}"] = ctx.params["_expansions"][proc]
+
+    def _expand(self, ctx: AppContext, proc: int, dist, min_edge, prefix,
+                length, visible, queue) -> Program:
+        """Push every viable child of ``prefix`` back to the queue."""
+        last = prefix[-1]
+        children = []
+        for city in range(self.cities):
+            if city in prefix:
+                continue
+            nlen = length + dist[last, city]
+            child = prefix + (city,)
+            if self._lower_bound(dist, min_edge, child, nlen) < visible:
+                children.append((child, nlen))
+        ctx.params["_expansions"][proc] += max(1, len(children))
+        yield ops.Compute(CYCLES_PER_EXPANSION * max(1, len(children)))
+        if children:
+            yield ops.Acquire(QUEUE_LOCK)
+            for child in children:
+                queue.append(child)
+                slot = (len(queue) - 1) % self.queue_capacity
+                yield ops.Write("tsp_queue", slot * SLOT_BYTES, SLOT_BYTES)
+            yield ops.Release(QUEUE_LOCK)
+
+    def _finish_subproblem(self, ctx: AppContext, proc: int, dist,
+                           min_edge, prefix, length,
+                           visible) -> Program:
+        """Depth-first solve of a leaf subproblem, in chunks.
+
+        Every ``BOUND_POLL_EXPANSIONS`` search nodes the worker
+        re-reads the (unsynchronized) global bound and commits any
+        improvement it has found.  On hardware the re-read returns the
+        freshest committed value; under lazy release consistency it
+        returns a value no newer than the worker's last sync point, so
+        a lazy worker prunes against a staler bound and expands
+        redundant nodes — the §2.4.3 effect.
+        """
+        best = visible
+        pending: float = math.inf
+        stack = [(prefix, length)]
+        chunk = 0
+        while True:
+            while stack and chunk < BOUND_POLL_EXPANSIONS:
+                pfx, plen = stack.pop()
+                chunk += 1
+                if len(pfx) == self.cities:
+                    total = plen + dist[pfx[-1], pfx[0]]
+                    if total < best:
+                        best = total
+                        pending = total
+                        ctx.params.setdefault("_tours", {})[total] = pfx
+                    continue
+                if self._lower_bound(dist, min_edge, pfx, plen) >= best:
+                    continue
+                last = pfx[-1]
+                for city in range(self.cities):
+                    if city in pfx:
+                        continue
+                    nlen = plen + dist[last, city]
+                    child = pfx + (city,)
+                    if self._lower_bound(dist, min_edge, child,
+                                         nlen) < best:
+                        stack.append((child, nlen))
+
+            ctx.params["_expansions"][proc] += chunk
+            yield ops.Compute(chunk * CYCLES_PER_EXPANSION)
+            chunk = 0
+            if pending < math.inf:
+                yield ops.Acquire(BOUND_LOCK)
+                improved = yield ops.UpdateBound(float(pending))
+                if improved:
+                    ctx.params["_best_tour"] = \
+                        ctx.params["_tours"][pending]
+                    yield ops.Write("tsp_bound", 0, 8)
+                yield ops.Release(BOUND_LOCK)
+                pending = math.inf
+            if not stack:
+                break
+            fresh = yield ops.ReadBound()
+            best = min(best, fresh)
+
+    # ------------------------------------------------------------------
+    def verify(self, ctx: AppContext) -> Dict[str, object]:
+        dist = self._distances()
+        min_edge = self._min_edges(dist)
+        expansions, best, tour = self._solve_local(
+            dist, min_edge, (0,), 0.0, math.inf)
+        best_tour = ctx.params.get("_best_tour")
+        assert best_tour is not None, "parallel run found no tour"
+        par_len = sum(dist[best_tour[i], best_tour[(i + 1) % len(best_tour)]]
+                      for i in range(len(best_tour)))
+        assert abs(par_len - best) < 1e-6, (
+            f"parallel optimum {par_len} != sequential optimum {best}")
+        return {
+            "optimal_length": float(best),
+            "sequential_expansions": expansions,
+            "parallel_expansions": sum(
+                ctx.params["_expansions"]),
+        }

@@ -1,0 +1,43 @@
+"""TreadMarks-style software distributed shared memory.
+
+The modules in this package implement the lazy release consistency
+(LRC) machinery described in §2.1 of the paper and in Keleher et al.
+(1992, 1994):
+
+* :mod:`repro.dsm.vectorclock` — vector timestamps over nodes.
+* :mod:`repro.dsm.interval` — intervals and write notices, plus the
+  global interval log both acquirers and barrier managers consult.
+* :mod:`repro.dsm.diff` — run-length-encoded page diffs (a real
+  encoder/decoder, used for sizing and verified by property tests).
+* :mod:`repro.dsm.pagetable` — per-node page state: validity, twins,
+  per-interval dirty bytes, and pending (not yet fetched) diffs.
+* :mod:`repro.dsm.locks` — distributed locks with a static manager and
+  a migrating token, forwarding requests along the grant chain.
+* :mod:`repro.dsm.barriers` — the centralized barrier manager.
+* :mod:`repro.dsm.bound` — visibility model for unsynchronized shared
+  scalars (the TSP global bound) under hardware coherence, lazy
+  release, and eager release.
+* :mod:`repro.dsm.protocol` — :class:`TreadMarksDsm`, the node runtime
+  that glues all of the above to a network and an engine.
+"""
+
+from repro.dsm.bound import BoundMode, SharedBound
+from repro.dsm.diff import Diff, apply_diff, encode_diff
+from repro.dsm.interval import Interval, IntervalLog
+from repro.dsm.pagetable import NodePages
+from repro.dsm.protocol import DsmConfig, TreadMarksDsm
+from repro.dsm.vectorclock import VectorClock
+
+__all__ = [
+    "VectorClock",
+    "Interval",
+    "IntervalLog",
+    "Diff",
+    "encode_diff",
+    "apply_diff",
+    "NodePages",
+    "SharedBound",
+    "BoundMode",
+    "TreadMarksDsm",
+    "DsmConfig",
+]

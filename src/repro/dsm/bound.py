@@ -1,0 +1,97 @@
+"""Visibility of unsynchronized shared scalars (the TSP bound).
+
+TSP updates its global minimum-tour bound under a lock but *reads* it
+without synchronization (§2.4.3).  The value a processor observes
+therefore depends on the shared-memory implementation:
+
+* ``HARDWARE`` — the snooping/directory protocol invalidates cached
+  copies on update, so readers see new bounds almost immediately.
+* ``LAZY`` — TreadMarks propagates modifications only at acquires, so
+  a reader sees the best bound released no later than its own last
+  synchronization point.
+* ``EAGER`` — the eager-release variant pushes the update out at
+  release time; readers see it one message latency later.
+
+Because a worse (higher) visible bound prunes less of the search tree,
+this is the mechanism behind TSP's redundant work on TreadMarks, and
+the model is queried *during* execution — the visible bound steers the
+application's actual branch-and-bound decisions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from enum import Enum
+from typing import List
+
+
+class BoundMode(Enum):
+    HARDWARE = "hardware"
+    LAZY = "lazy"
+    EAGER = "eager"
+
+
+class SharedBound:
+    """A monotonically improving (decreasing) shared bound."""
+
+    def __init__(self, mode: BoundMode, num_procs: int, *,
+                 initial: float = math.inf,
+                 push_latency_cycles: int = 0) -> None:
+        self.mode = mode
+        self.num_procs = num_procs
+        self.initial = initial
+        self.push_latency = push_latency_cycles
+        self._times: List[int] = []
+        self._best_prefix: List[float] = []
+        self._own_best = [initial] * num_procs
+        self._sync_time = [0] * num_procs
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    def update(self, proc: int, value: float, now: int) -> bool:
+        """Commit a new bound (caller holds the bound lock).
+
+        Returns True if the value improved on the globally best
+        committed value (callers skip the write otherwise).
+        """
+        current = self._best_prefix[-1] if self._best_prefix else self.initial
+        self._own_best[proc] = min(self._own_best[proc], value)
+        if value >= current:
+            return False
+        self._times.append(now)
+        self._best_prefix.append(value)
+        self.updates += 1
+        return True
+
+    def on_sync(self, proc: int, now: int) -> None:
+        """Record that ``proc`` passed a synchronization point.
+
+        Under lazy release consistency this is the moment the
+        processor's view of unsynchronized data catches up.
+        """
+        self._sync_time[proc] = max(self._sync_time[proc], now)
+
+    # ------------------------------------------------------------------
+    def read(self, proc: int, now: int) -> float:
+        """The bound value visible to ``proc`` at time ``now``."""
+        horizon = self._visible_horizon(proc, now)
+        idx = bisect.bisect_right(self._times, horizon) - 1
+        global_best = self._best_prefix[idx] if idx >= 0 else self.initial
+        return min(global_best, self._own_best[proc])
+
+    def _visible_horizon(self, proc: int, now: int) -> int:
+        if self.mode is BoundMode.HARDWARE:
+            return now
+        if self.mode is BoundMode.EAGER:
+            return now - self.push_latency
+        return self._sync_time[proc]
+
+    # ------------------------------------------------------------------
+    @property
+    def committed_best(self) -> float:
+        return self._best_prefix[-1] if self._best_prefix else self.initial
+
+    def staleness(self, proc: int, now: int) -> float:
+        """How far ``proc``'s visible bound lags the committed best."""
+        return self.read(proc, now) - self.committed_best

@@ -1,0 +1,206 @@
+"""Distributed locks with a static manager and a migrating token.
+
+TreadMarks assigns each lock a static manager; the token rests at the
+last releaser.  An acquire sends a request to the manager, which
+forwards it to the probable owner (the last node it directed the token
+toward); the holder responds directly to the requester with a grant
+carrying the write notices the requester lacks (§2.1, §2.2).  The
+minimum remote acquisition is therefore three messages (two when the
+manager still holds the token) and zero when the token already rests
+at the requesting node — which is also how the HS architecture gets
+its free intra-node lock handoffs (§3.1).
+
+Waiters form a FIFO queue that conceptually travels with the token;
+grants to a co-resident waiter are local and message-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.stats.counters import DataKind, MsgKind
+
+GrantCallback = Callable[[int, bool], None]
+"""Called as ``cb(time, was_remote)`` when the lock is held."""
+
+
+@dataclass
+class _Waiter:
+    node: int
+    proc: int
+    vc_bytes_hint: int
+    done: GrantCallback
+    remote: bool
+
+
+@dataclass
+class LockRecord:
+    """Global state of one lock (placement lives in the accounting)."""
+
+    lock_id: int
+    manager: int
+    token_node: int
+    held: bool = False
+    in_transit: bool = False
+    holder_proc: Optional[int] = None
+    queue: Deque[_Waiter] = field(default_factory=deque)
+    grants: int = 0
+    local_grants: int = 0
+
+    @property
+    def available(self) -> bool:
+        """True when the token is at rest and nobody holds the lock."""
+        return not self.held and not self.in_transit and not self.queue
+
+
+class DistributedLocks:
+    """All DSM locks of one machine.
+
+    The owning protocol supplies:
+
+    * ``net.send(...)`` for messages,
+    * ``grant_payload(from_node, to_node)`` returning the consistency
+      bytes a grant carries (vector clock + write notices),
+    * ``on_granted(to_node, from_node)`` applying those notices, and
+    * ``local_grant_cycles`` for token-resident acquisitions.
+    """
+
+    def __init__(self, net, num_nodes: int, *,
+                 grant_payload: Callable[[int, int], int],
+                 on_granted: Callable[[int, int], None],
+                 request_payload_bytes: int,
+                 local_grant_cycles: int = 100) -> None:
+        self.net = net
+        self.num_nodes = num_nodes
+        self.grant_payload = grant_payload
+        self.on_granted = on_granted
+        self.request_payload_bytes = request_payload_bytes
+        self.local_grant_cycles = local_grant_cycles
+        self._locks: Dict[int, LockRecord] = {}
+        # Manager-side probable-owner pointers: lock -> node the manager
+        # last directed the token toward.
+        self._probable_owner: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, lock_id: int) -> LockRecord:
+        rec = self._locks.get(lock_id)
+        if rec is None:
+            manager = lock_id % self.num_nodes
+            rec = LockRecord(lock_id, manager, token_node=manager)
+            self._locks[lock_id] = rec
+            self._probable_owner[lock_id] = manager
+        return rec
+
+    # ------------------------------------------------------------------
+    def acquire(self, lock_id: int, node: int, proc: int,
+                done: GrantCallback) -> None:
+        """Request the lock for ``proc`` on ``node``."""
+        rec = self.record(lock_id)
+        engine = self.net.engine
+        if rec.token_node == node and rec.available:
+            # Token already rests here and nobody is waiting: free.
+            rec.held = True
+            rec.holder_proc = proc
+            rec.grants += 1
+            rec.local_grants += 1
+            engine.schedule(self.local_grant_cycles, done,
+                            engine.now + self.local_grant_cycles, False)
+            return
+
+        waiter = _Waiter(node, proc, self.request_payload_bytes, done,
+                         remote=(rec.token_node != node))
+        if rec.token_node == node and not rec.in_transit:
+            # Token is here but held (or others queued): wait locally.
+            rec.queue.append(waiter)
+            return
+
+        # Remote path: request -> manager -> probable owner.
+        self.net.counters.remote_lock_acquires += 1
+        self.net.send(node, rec.manager, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_REQUEST,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t, r=rec, w=waiter:
+                      self._at_manager(r, w))
+
+    def _at_manager(self, rec: LockRecord, waiter: _Waiter) -> None:
+        target = self._probable_owner[rec.lock_id]
+        self._probable_owner[rec.lock_id] = waiter.node
+        if target == rec.manager:
+            self._enqueue_at_holder(rec, waiter)
+            return
+        self.net.send(rec.manager, target, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_FORWARD,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t:
+                      self._enqueue_at_holder(rec, waiter))
+
+    def _enqueue_at_holder(self, rec: LockRecord, waiter: _Waiter) -> None:
+        if rec.available:
+            self._grant(rec, waiter)
+        else:
+            rec.queue.append(waiter)
+
+    # ------------------------------------------------------------------
+    def release(self, lock_id: int, node: int, proc: int,
+                done: Callable[[int], None]) -> None:
+        """Release the lock; hands off to the head waiter if any."""
+        rec = self.record(lock_id)
+        if not rec.held or rec.token_node != node:
+            raise ProtocolError(
+                f"release of lock {lock_id} by node {node} which does not "
+                f"hold it (token at {rec.token_node}, held={rec.held})")
+        if rec.holder_proc != proc:
+            raise ProtocolError(
+                f"release of lock {lock_id} by proc {proc}, held by "
+                f"{rec.holder_proc}")
+        rec.held = False
+        rec.holder_proc = None
+        if rec.queue:
+            self._grant(rec, rec.queue.popleft())
+        engine = self.net.engine
+        engine.schedule(self.local_grant_cycles, done,
+                        engine.now + self.local_grant_cycles)
+
+    # ------------------------------------------------------------------
+    def _grant(self, rec: LockRecord, waiter: _Waiter) -> None:
+        rec.grants += 1
+        engine = self.net.engine
+        if waiter.node == rec.token_node:
+            # Intra-node handoff: shared memory within the node, no
+            # messages, no consistency actions.
+            rec.held = True
+            rec.holder_proc = waiter.proc
+            rec.local_grants += 1
+            at = engine.now + self.local_grant_cycles
+            engine.schedule_at(at, waiter.done, at, False)
+            return
+
+        src = rec.token_node
+        payload = self.grant_payload(src, waiter.node)
+        rec.token_node = waiter.node  # token (plus queue) migrates
+        rec.in_transit = True
+
+        def delivered(time: int, w=waiter, s=src, r=rec) -> None:
+            r.in_transit = False
+            r.held = True
+            r.holder_proc = w.proc
+            self.on_granted(w.node, s)
+            w.done(time, True)
+
+        self.net.send(src, waiter.node, payload,
+                      kind=MsgKind.LOCK_GRANT,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=delivered)
+
+    # ------------------------------------------------------------------
+    def total_grants(self) -> int:
+        return sum(r.grants for r in self._locks.values())
+
+    def holder_of(self, lock_id: int) -> Optional[int]:
+        rec = self._locks.get(lock_id)
+        if rec is None or not rec.held:
+            return None
+        return rec.token_node

@@ -1,0 +1,400 @@
+"""The TreadMarks node runtime: lazy release consistency over a LAN.
+
+:class:`TreadMarksDsm` exposes node-granularity operations to machine
+models (``read``, ``write``, ``acquire``, ``release``,
+``barrier_arrive``) and implements the LRC protocol of §2.1:
+
+* **Intervals & write notices** — a node's dirty pages between
+  synchronization points form an interval; acquirers and barrier
+  departers receive notices for intervals they have not seen and
+  invalidate their copies of the named pages.
+* **Lazy diffs** — a faulting node requests diffs from the notice
+  creators; creators build diffs on first request (twin comparison)
+  and cache them.
+* **Multiple-writer** — concurrent writers of one page each twin it
+  and produce disjoint diffs; nobody is invalidated by their own
+  writes.
+* **Eager release** (optional, per lock) — at release time the
+  releaser pushes diffs of its dirty pages to every node holding a
+  valid copy, instead of invalidating lazily at the next acquire
+  (the §2.4.3 TSP experiment).
+
+For multiprocessor nodes (the HS architecture), everything here is
+already node-granularity: co-resident processors share the page table,
+their writes merge into one per-node diff, and concurrent faults on
+one page coalesce into a single fetch (§3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.dsm.diff import estimate_wire_bytes
+from repro.dsm.interval import Interval, IntervalLog
+from repro.dsm.locks import DistributedLocks
+from repro.dsm.barriers import BarrierManager
+from repro.dsm.pagetable import NodePages
+from repro.dsm.vectorclock import VectorClock
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mem.layout import AddressSpace
+from repro.net.atm import AtmNetwork
+from repro.net.overhead import SoftwareOverhead
+from repro.stats.counters import Counters, DataKind, MsgKind
+
+DoneCallback = Callable[[int], None]
+
+
+@dataclass(frozen=True)
+class DsmConfig:
+    """Static protocol configuration."""
+
+    num_nodes: int
+    page_bytes: int = 4096
+    request_payload_bytes: int = 16
+    local_grant_cycles: int = 40
+    barrier_local_cycles: int = 100
+    eager_locks: Optional[frozenset] = None   # None, or lock ids; "all" ok
+    barrier_manager_node: int = 0
+    #: False disables run-length diffs: faults transfer whole pages
+    #: (Ivy-style single-writer data movement; the A1 ablation).
+    use_diffs: bool = True
+
+    def lock_is_eager(self, lock_id: int) -> bool:
+        if self.eager_locks is None:
+            return False
+        if self.eager_locks == "all":
+            return True
+        return lock_id in self.eager_locks
+
+
+@dataclass
+class _FaultJob:
+    node: int
+    page: int
+    waiters: List[DoneCallback] = field(default_factory=list)
+    outstanding: int = 0
+    apply_cycles: int = 0
+
+
+class TreadMarksDsm:
+    """One machine's software DSM layer."""
+
+    def __init__(self, net: AtmNetwork, space: AddressSpace,
+                 overhead: SoftwareOverhead, config: DsmConfig) -> None:
+        if config.num_nodes != net.num_nodes:
+            raise ConfigurationError(
+                f"DSM configured for {config.num_nodes} nodes but network "
+                f"has {net.num_nodes}")
+        if config.page_bytes != space.geometry.page_bytes:
+            raise ConfigurationError(
+                f"DSM page size {config.page_bytes} != address-space page "
+                f"size {space.geometry.page_bytes}")
+        self.net = net
+        self.engine = net.engine
+        self.counters: Counters = net.counters
+        self.space = space
+        self.overhead = overhead
+        self.config = config
+        n = config.num_nodes
+        self.vcs = [VectorClock(n) for _ in range(n)]
+        self.log = IntervalLog(n)
+        self.pages = [NodePages(i, space.total_pages) for i in range(n)]
+        self._grant_snapshots: Dict[Tuple[int, int], Deque[VectorClock]] = {}
+        self._inflight: Dict[Tuple[int, int], _FaultJob] = {}
+        #: Optional hook called as ``hook(node, page)`` whenever a
+        #: node's copy of a page is refreshed with remote data; the HS
+        #: machine uses it to invalidate stale lines in node caches.
+        self.page_refreshed_hook: Optional[Callable[[int, int], None]] = None
+
+        self.locks = DistributedLocks(
+            net, n,
+            grant_payload=self._grant_payload,
+            on_granted=self._on_granted,
+            request_payload_bytes=config.request_payload_bytes,
+            local_grant_cycles=config.local_grant_cycles,
+        )
+        self.barrier = BarrierManager(
+            net, n,
+            manager_node=config.barrier_manager_node,
+            arrive_payload=self._arrive_payload,
+            depart_payload=self._depart_payload,
+            on_all_arrived=self._merge_all_clocks,
+            on_depart=self._on_depart,
+            local_cycles=config.barrier_local_cycles,
+        )
+        self._merged_vc: Optional[VectorClock] = None
+
+    # ==================================================================
+    # interval bookkeeping
+    # ==================================================================
+    def end_interval(self, node: int) -> Optional[Interval]:
+        """Close the node's current interval if it dirtied any pages."""
+        if self.config.num_nodes == 1:
+            return None  # nobody to notify: no interval bookkeeping
+        table = self.pages[node]
+        if not table.has_dirty:
+            return None
+        dirty = table.take_dirty(self.config.page_bytes)
+        vc = self.vcs[node]
+        index = vc.tick(node)
+        interval = Interval(node, index, vc.snapshot(), dirty)
+        self.log.append(interval)
+        return interval
+
+    # ==================================================================
+    # lock grant consistency plumbing
+    # ==================================================================
+    def _grant_payload(self, src: int, dst: int) -> int:
+        self.end_interval(src)
+        snapshot = self.vcs[src].copy()
+        key = (src, dst)
+        self._grant_snapshots.setdefault(key, deque()).append(snapshot)
+        self.counters.write_notices_sent += self.log.notices_between(
+            self.vcs[dst], snapshot)
+        return self.log.consistency_bytes(self.vcs[dst], snapshot)
+
+    def _on_granted(self, dst: int, src: int) -> None:
+        queue = self._grant_snapshots.get((src, dst))
+        if not queue:
+            raise ProtocolError(
+                f"grant delivered from {src} to {dst} without a snapshot")
+        snapshot = queue.popleft()
+        self._apply_notices(dst, snapshot)
+
+    def _apply_notices(self, dst: int, upto: VectorClock) -> None:
+        table = self.pages[dst]
+        for interval in self.log.newer_than(self.vcs[dst], upto):
+            for page, changed in interval.pages.items():
+                wire = estimate_wire_bytes(changed)
+                if table.apply_notice(page, interval.node, wire,
+                                      interval.index):
+                    self.counters.pages_invalidated += 1
+        self.vcs[dst].merge(upto)
+
+    # ==================================================================
+    # barrier consistency plumbing
+    # ==================================================================
+    def _arrive_payload(self, node: int) -> int:
+        mgr = self.config.barrier_manager_node
+        self.counters.write_notices_sent += self.log.notices_between(
+            self.vcs[mgr], self.vcs[node])
+        return self.log.consistency_bytes(self.vcs[mgr], self.vcs[node])
+
+    def _merge_all_clocks(self) -> None:
+        self.counters.barriers += 1
+        merged = self.vcs[self.config.barrier_manager_node].copy()
+        for vc in self.vcs:
+            merged.merge(vc)
+        self._merged_vc = merged
+
+    def _depart_payload(self, node: int) -> int:
+        if self._merged_vc is None:
+            raise ProtocolError("departure before all arrivals merged")
+        self.counters.write_notices_sent += self.log.notices_between(
+            self.vcs[node], self._merged_vc)
+        return self.log.consistency_bytes(self.vcs[node], self._merged_vc)
+
+    def _on_depart(self, node: int) -> None:
+        if self._merged_vc is None:
+            raise ProtocolError("departure before all arrivals merged")
+        self._apply_notices(node, self._merged_vc)
+
+    # ==================================================================
+    # public node-level operations
+    # ==================================================================
+    def acquire(self, lock_id: int, node: int, proc: int,
+                done: Callable[[int, bool], None]) -> None:
+        """Acquire a lock for ``proc`` on ``node``."""
+        self.counters.lock_acquires += 1
+        self.locks.acquire(lock_id, node, proc, done)
+
+    def release(self, lock_id: int, node: int, proc: int,
+                done: DoneCallback) -> None:
+        """Release a lock, closing the node's interval first."""
+        interval = self.end_interval(node)
+        if interval is not None and self.config.lock_is_eager(lock_id):
+            self._eager_push(node, interval)
+        self.locks.release(lock_id, node, proc, done)
+
+    def barrier_arrive(self, barrier_id: int, node: int,
+                       done: DoneCallback) -> None:
+        """Node-level barrier arrival (machine aggregates processors)."""
+        self.end_interval(node)
+        self.barrier.arrive(barrier_id, node, done)
+
+    # ------------------------------------------------------------------
+    def read(self, node: int, addr: int, nbytes: int,
+             done: DoneCallback) -> None:
+        """Validate all pages under ``[addr, addr+nbytes)`` for reading."""
+        if self.config.num_nodes == 1:
+            self.engine.schedule(0, done, self.engine.now)
+            return
+        first, last = self.space.geometry.page_span(addr, nbytes)
+        faulting = self.pages[node].invalid_in(first, last)
+        self._resolve_faults(node, list(faulting), done)
+
+    def write(self, node: int, addr: int, nbytes: int, changed_bytes: int,
+              done: DoneCallback) -> None:
+        """Validate + twin pages under a write of ``changed_bytes``."""
+        if self.config.num_nodes == 1:
+            # With a single node there is never a reader elsewhere:
+            # TreadMarks does no write trapping, twinning, or diffing.
+            self.engine.schedule(0, done, self.engine.now)
+            return
+        first, last = self.space.geometry.page_span(addr, nbytes)
+        faulting = self.pages[node].invalid_in(first, last)
+
+        def after_faults(time: int) -> None:
+            cost = self._record_writes(node, addr, nbytes, changed_bytes,
+                                       first, last)
+            self.engine.schedule_at(max(time, self.engine.now) + cost,
+                                    done, time + cost)
+
+        self._resolve_faults(node, list(faulting), after_faults)
+
+    def _record_writes(self, node: int, addr: int, nbytes: int,
+                       changed_bytes: int, first: int, last: int) -> int:
+        """Distribute changed bytes over pages; twin on first write."""
+        table = self.pages[node]
+        page_bytes = self.config.page_bytes
+        cost = 0
+        for page in range(first, last):
+            page_lo = page * page_bytes
+            page_hi = page_lo + page_bytes
+            overlap = min(addr + nbytes, page_hi) - max(addr, page_lo)
+            if self.config.use_diffs:
+                share = int(round(changed_bytes * overlap / nbytes))
+            else:
+                share = page_bytes  # whole-page transfer on fault
+            if table.record_write(page, share):
+                cost += self.overhead.twin_cost(page_bytes)
+                self.counters.twins_created += 1
+        return cost
+
+    # ==================================================================
+    # fault handling
+    # ==================================================================
+    def _resolve_faults(self, node: int, faulting: List[int],
+                        done: DoneCallback) -> None:
+        """Fault pages in sequentially (as touch order would)."""
+        if not faulting:
+            self.engine.schedule(0, done, self.engine.now)
+            return
+        page = faulting[0]
+        rest = faulting[1:]
+        self._fault(node, page,
+                    lambda _t: self._resolve_faults(node, rest, done))
+
+    def _fault(self, node: int, page: int, done: DoneCallback) -> None:
+        key = (node, page)
+        job = self._inflight.get(key)
+        if job is not None:
+            # Another processor of this node is already fetching the
+            # page: coalesce (the HS merged-fault behaviour, §3.1).
+            job.waiters.append(done)
+            return
+
+        self.counters.page_faults += 1
+        table = self.pages[node]
+        if table.is_valid(page):
+            self.engine.schedule(0, done, self.engine.now)
+            return
+
+        pend = table.begin_fault(page)
+        job = _FaultJob(node, page, waiters=[done])
+        self._inflight[key] = job
+        fault_cost = self.overhead.fault_cost()
+
+        creators = {c: b for c, b in pend.by_creator.items() if c != node}
+        if not creators:
+            # Invalidated only by own stale state; revalidate locally.
+            self._finish_fault(job, self.engine.now + fault_cost)
+            return
+
+        self.counters.remote_page_faults += 1
+        by_creator_intervals: Dict[int, List[int]] = {}
+        for creator, index in pend.intervals:
+            by_creator_intervals.setdefault(creator, []).append(index)
+
+        job.outstanding = len(creators)
+        request_time = self.engine.now + fault_cost
+        for creator, wire_bytes in creators.items():
+            indices = by_creator_intervals.get(creator, [])
+            self.net.send(
+                node, creator, self.config.request_payload_bytes,
+                kind=MsgKind.DIFF_REQUEST, data_kind=DataKind.CONSISTENCY,
+                now=request_time,
+                on_delivered=lambda _t, c=creator, w=wire_bytes, ix=indices:
+                self._serve_diffs(job, c, w, ix))
+
+    def _serve_diffs(self, job: _FaultJob, creator: int, wire_bytes: int,
+                     indices: List[int]) -> None:
+        """At the creator: lazily build the diffs, then respond."""
+        create_cost = 0
+        for index in indices:
+            interval = self.log.get(creator, index)
+            if interval.diff_pending(job.page):
+                interval.diffs_made.add(job.page)
+                create_cost += self.overhead.diff_create_cost(
+                    self.config.page_bytes)
+                self.counters.diffs_created += 1
+                self.counters.diff_bytes_created += interval.pages[job.page]
+                self.pages[creator].consume_twin(job.page)
+        _start, ready = self.net.handlers[creator].acquire(
+            self.engine.now, create_cost)
+        self.net.send(creator, job.node, wire_bytes,
+                      kind=MsgKind.DIFF_RESPONSE, data_kind=DataKind.MISS,
+                      now=ready,
+                      on_delivered=lambda t, w=wire_bytes:
+                      self._diff_arrived(job, w, t))
+
+    def _diff_arrived(self, job: _FaultJob, wire_bytes: int,
+                      time: int) -> None:
+        job.apply_cycles += self.overhead.diff_apply_cost(wire_bytes)
+        job.outstanding -= 1
+        if job.outstanding == 0:
+            self._finish_fault(job, time + job.apply_cycles)
+
+    def _finish_fault(self, job: _FaultJob, at: int) -> None:
+        self.pages[job.node].revalidate(job.page)
+        del self._inflight[(job.node, job.page)]
+        if self.page_refreshed_hook is not None:
+            self.page_refreshed_hook(job.node, job.page)
+        for waiter in job.waiters:
+            self.engine.schedule_at(max(at, self.engine.now), waiter, at)
+
+    # ==================================================================
+    # eager release (§2.4.3)
+    # ==================================================================
+    def _eager_push(self, node: int, interval: Interval) -> None:
+        """Push this interval's diffs to every node with a valid copy."""
+        for page, changed in interval.pages.items():
+            wire = estimate_wire_bytes(changed)
+            interval.diffs_made.add(page)
+            self.counters.diffs_created += 1
+            self.counters.diff_bytes_created += changed
+            self.pages[node].consume_twin(page)
+            for other in range(self.config.num_nodes):
+                if other == node or not self.pages[other].is_valid(page):
+                    continue
+                # The receiver's copy is updated in place: it will not
+                # fault on this interval later.  Mark the interval seen.
+                self.net.send(
+                    node, other, wire,
+                    kind=MsgKind.DIFF_RESPONSE, data_kind=DataKind.MISS,
+                    on_delivered=lambda _t, o=other, n=node,
+                    iv=interval: self._eager_applied(o, iv))
+
+    def _eager_applied(self, other: int, interval: Interval) -> None:
+        vc = self.vcs[other]
+        if vc[interval.node] == interval.index - 1:
+            vc[interval.node] = interval.index
+        if self.page_refreshed_hook is not None:
+            for page in interval.pages:
+                self.page_refreshed_hook(other, page)
+
+    # ==================================================================
+    def node_stats(self) -> List[Dict[str, int]]:
+        return [table.stats() for table in self.pages]

@@ -1,0 +1,92 @@
+"""Vector timestamps over DSM nodes.
+
+TreadMarks represents the happened-before-1 partial order with vector
+timestamps (§2.1): entry ``i`` counts the intervals of node ``i`` the
+owner has seen.  Clocks are small (one entry per *node*, not per
+processor), so a plain list is fast enough and keeps semantics obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+ENTRY_BYTES = 4
+"""Wire size of one vector-clock entry (32-bit interval index)."""
+
+
+class VectorClock:
+    """A mutable vector timestamp of fixed width."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, num_nodes: int = 0,
+                 entries: Iterable[int] = ()) -> None:
+        if entries:
+            self.entries: List[int] = list(entries)
+        else:
+            if num_nodes <= 0:
+                raise ConfigurationError(
+                    f"vector clock needs at least one node: {num_nodes}")
+            self.entries = [0] * num_nodes
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, node: int) -> int:
+        return self.entries[node]
+
+    def __setitem__(self, node: int, value: int) -> None:
+        self.entries[node] = value
+
+    def tick(self, node: int) -> int:
+        """Advance ``node``'s own component; returns the new value."""
+        self.entries[node] += 1
+        return self.entries[node]
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(entries=self.entries)
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Immutable snapshot (hashable, for interval records)."""
+        return tuple(self.entries)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum (the join of the partial order)."""
+        self._check(other)
+        self.entries = [max(a, b) for a, b in zip(self.entries,
+                                                  other.entries)]
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when self >= other pointwise."""
+        self._check(other)
+        return all(a >= b for a, b in zip(self.entries, other.entries))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def _check(self, other: "VectorClock") -> None:
+        if len(self.entries) != len(other.entries):
+            raise ConfigurationError(
+                f"vector clock width mismatch: {len(self.entries)} vs "
+                f"{len(other.entries)}")
+
+    # ------------------------------------------------------------------
+    def wire_bytes(self) -> int:
+        """Bytes this clock occupies in a message."""
+        return ENTRY_BYTES * len(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, VectorClock) and
+                self.entries == other.entries)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.entries))
+
+    def __repr__(self) -> str:
+        return f"VC{self.entries}"

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, application, or experiment was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an impossible state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable task remains but some tasks have not finished.
+
+    Raised by the engine when the event queue drains while simulated
+    processors are still blocked (e.g. on a lock or barrier), which
+    indicates a protocol bug or an application synchronization bug.
+    """
+
+    def __init__(self, blocked: list) -> None:
+        self.blocked = list(blocked)
+        names = ", ".join(str(b) for b in self.blocked)
+        super().__init__(f"simulation deadlocked; blocked tasks: {names}")
+
+
+class ProtocolError(SimulationError):
+    """A coherence or consistency protocol invariant was violated."""
+
+
+class AddressError(ReproError):
+    """An access fell outside the allocated shared regions."""

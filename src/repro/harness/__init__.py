@@ -1,0 +1,19 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+The registry in :mod:`repro.harness.experiments` maps experiment ids
+(``t1``, ``t2``, ``fig1`` .. ``fig16``, ``x1`` .. ``x3``, ``a1`` ..
+``a3``) to runnable experiment definitions at three scales:
+
+* ``test`` — seconds-long configurations for CI,
+* ``bench`` — the default, preserving the paper's shape claims,
+* ``paper`` — full problem sizes (slow).
+
+Run from the command line::
+
+    repro-harness list
+    repro-harness run fig3 t2 --scale bench
+"""
+
+from repro.harness.experiments import REGISTRY, Report, Scale, get_experiment
+
+__all__ = ["REGISTRY", "Scale", "Report", "get_experiment"]

@@ -1,0 +1,92 @@
+"""Command-line interface: ``repro-harness``.
+
+Usage::
+
+    repro-harness list
+    repro-harness run t1 fig3 --scale bench
+    repro-harness run all --scale test
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import (REGISTRY, Scale, list_experiments,
+                                       run_experiment)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the tables and figures of Cox et al., "
+                    "'Software Versus Hardware Shared-Memory "
+                    "Implementation' (ISCA 1994).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lister = sub.add_parser("list", help="list all experiments")
+    lister.set_defaults(func=cmd_list)
+
+    runner = sub.add_parser("run", help="run experiments by id")
+    runner.add_argument("ids", nargs="+",
+                        help="experiment ids (or 'all')")
+    runner.add_argument("--scale", choices=[s.value for s in Scale],
+                        default=Scale.BENCH.value,
+                        help="problem-size scale (default: bench)")
+    runner.set_defaults(func=cmd_run)
+
+    validator = sub.add_parser(
+        "validate",
+        help="evaluate the paper's shape claims as PASS/FAIL checks")
+    validator.add_argument("--scale", choices=[s.value for s in Scale],
+                           default=Scale.BENCH.value)
+    validator.set_defaults(func=cmd_validate)
+    return parser
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for exp in list_experiments():
+        print(f"{exp.exp_id:6s} {exp.paper_ref:14s} {exp.title}")
+        print(f"       shape: {exp.shape_note}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = Scale(args.scale)
+    ids: List[str] = args.ids
+    if ids == ["all"]:
+        ids = [e.exp_id for e in list_experiments()]
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(REGISTRY)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        start = time.time()
+        report = run_experiment(exp_id, scale)
+        elapsed = time.time() - start
+        print(report.text())
+        print(f"   [{exp_id} at scale={scale.value} in {elapsed:.1f}s; "
+              f"expected shape: {REGISTRY[exp_id].shape_note}]")
+        print()
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validate import format_results, run_validation
+    results = run_validation(Scale(args.scale))
+    for line in format_results(results):
+        print(line)
+    return 0 if all(ok for _c, ok in results) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

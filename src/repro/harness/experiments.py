@@ -1,0 +1,613 @@
+"""The experiment registry: every table, figure, and ablation.
+
+Each entry regenerates one artifact of the paper's evaluation.  The
+ids follow DESIGN.md's experiment index: ``t1``/``t2`` (tables),
+``fig1`` .. ``fig16`` (figures), ``x1`` .. ``x3`` (in-text
+experiments), ``a1`` .. ``a3`` (ablations of design choices the paper
+calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.harness import fmt
+from repro.harness.runner import compare_machines, speedup_series
+from repro.harness.workloads import (EXPERIMENTAL_PROCS, SIMULATED_PROCS,
+                                     Scale, make_app)
+from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
+                            DecTreadMarksMachine, HybridMachine, SgiMachine)
+from repro.net.overhead import OVERHEAD_SWEEP
+
+
+@dataclass
+class Report:
+    """The output of one experiment run."""
+
+    exp_id: str
+    title: str
+    lines: List[str] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def text(self) -> str:
+        header = f"== {self.exp_id}: {self.title} =="
+        return "\n".join([header] + self.lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    exp_id: str
+    title: str
+    paper_ref: str
+    shape_note: str
+    run: Callable[[Scale], Report]
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def _register(exp_id: str, title: str, paper_ref: str, shape_note: str):
+    def wrap(fn: Callable[[Scale], Report]) -> Callable[[Scale], Report]:
+        REGISTRY[exp_id] = Experiment(exp_id, title, paper_ref,
+                                      shape_note, fn)
+        return fn
+    return wrap
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment '{exp_id}'; choose from "
+            f"{sorted(REGISTRY)}") from None
+
+
+ALL_WORKLOADS = ("ilink_clp", "ilink_bad", "sor_large", "sor_small",
+                 "tsp19", "tsp18", "water", "mwater")
+
+SIM_WORKLOADS = ("sor_sim", "tsp19", "mwater")
+
+
+# ======================================================================
+# Tables
+# ======================================================================
+@_register("t1", "Single-processor execution times",
+           "Table 1",
+           "DSM overhead at 1 processor is ~nil; the SGI is slower for "
+           "working sets exceeding its L2, roughly equal otherwise.")
+def run_t1(scale: Scale) -> Report:
+    tm = DecTreadMarksMachine()
+    sgi = SgiMachine()
+    rows = []
+    data = {}
+    for name in ALL_WORKLOADS:
+        app = make_app(name, scale)
+        t_tm = tm.run(app, 1).seconds
+        t_sgi = sgi.run(app, 1).seconds
+        # At one node TreadMarks engages no remote machinery, so the
+        # plain-DEC and DEC+TreadMarks columns coincide (the paper
+        # measured the same to within noise).
+        rows.append([app.name, t_tm, t_tm, t_sgi, t_sgi / t_tm])
+        data[name] = {"dec": t_tm, "treadmarks": t_tm, "sgi": t_sgi}
+    report = Report("t1", "Single-processor execution times (seconds)")
+    report.lines = fmt.format_table(
+        ["program", "DEC", "DEC+TreadMarks", "SGI", "SGI/DEC"], rows)
+    report.data = data
+    return report
+
+
+@_register("t2", "8-processor TreadMarks execution statistics",
+           "Table 2",
+           "Sync-rate ordering: Water >> M-Water > TSP-18 > TSP-19; "
+           "ILINK-BAD >> ILINK-CLP in barrier and message rates.")
+def run_t2(scale: Scale) -> Report:
+    tm = DecTreadMarksMachine()
+    rows = []
+    data = {}
+    for name in ALL_WORKLOADS:
+        app = make_app(name, scale)
+        r = tm.run(app, 8)
+        rows.append([app.name, r.barriers_per_sec, r.remote_locks_per_sec,
+                     r.messages_per_sec, r.kbytes_per_sec])
+        data[name] = r.summary()
+    report = Report("t2", "8-processor TreadMarks execution statistics")
+    report.lines = fmt.format_table(
+        ["program", "barriers/s", "remote locks/s", "messages/s",
+         "Kbytes/s"], rows)
+    report.data = data
+    return report
+
+
+# ======================================================================
+# Figures 1-8: TreadMarks vs SGI speedups
+# ======================================================================
+def _experimental_figure(exp_id: str, workload: str,
+                         scale: Scale) -> Report:
+    app_factory = lambda: make_app(workload, scale)  # noqa: E731
+    machines = [DecTreadMarksMachine(), SgiMachine()]
+    series = compare_machines(machines, app_factory(), EXPERIMENTAL_PROCS)
+    speedups = {name: s.speedups() for name, s in series.items()}
+    report = Report(exp_id, f"{app_factory().name} speedups, "
+                            f"TreadMarks vs SGI 4D/480")
+    report.lines = fmt.format_speedups(speedups, EXPERIMENTAL_PROCS)
+    report.data = {"speedups": speedups,
+                   "base_seconds": {n: s.base_seconds
+                                    for n, s in series.items()}}
+    return report
+
+
+_EXPERIMENTAL_FIGURES = [
+    ("fig1", "ilink_clp", "Figure 1", "SGI above TreadMarks; smallest "
+     "ILINK gap (coarse grain, low barrier rate)."),
+    ("fig2", "ilink_bad", "Figure 2", "SGI above TreadMarks; largest "
+     "ILINK gap (fine grain, high barrier rate)."),
+    ("fig3", "sor_large", "Figure 3", "TreadMarks above SGI: the 16 MB "
+     "grid thrashes the SGI L2 and saturates its bus."),
+    ("fig4", "sor_small", "Figure 4", "TreadMarks competitive with SGI "
+     "even when the band fits the SGI L2 at 8 processors."),
+    ("fig5", "tsp19", "Figure 5", "SGI above TreadMarks (fresher bound "
+     "prunes better; occasional super-linear SGI runs)."),
+    ("fig6", "tsp18", "Figure 6", "SGI above TreadMarks; slightly "
+     "larger gap than the 19-city problem."),
+    ("fig7", "water", "Figure 7", "TreadMarks gets essentially no "
+     "speedup (per-update locks); SGI scales."),
+    ("fig8", "mwater", "Figure 8", "TreadMarks recovers real speedup "
+     "with batched updates; SGI nearly unchanged vs Water."),
+]
+
+for _fid, _wl, _ref, _note in _EXPERIMENTAL_FIGURES:
+    def _make(fid=_fid, wl=_wl):
+        def _run(scale: Scale) -> Report:
+            return _experimental_figure(fid, wl, scale)
+        return _run
+    _register(_fid, f"{_wl} speedup (TreadMarks vs SGI)", _ref,
+              _note)(_make())
+
+
+# ======================================================================
+# Figures 9-11: AS / AH / HS simulated speedups
+# ======================================================================
+def _sim_machines():
+    return [AllHardwareMachine(), HybridMachine(), AllSoftwareMachine()]
+
+
+def _sim_figure(exp_id: str, workload: str, scale: Scale) -> Report:
+    procs = SIMULATED_PROCS[scale]
+    app = make_app(workload, scale)
+    series = compare_machines(_sim_machines(), app, (1,) + tuple(procs))
+    speedups = {name: s.speedups() for name, s in series.items()}
+    report = Report(exp_id, f"{app.name} on AH / HS / AS")
+    report.lines = fmt.format_speedups(speedups, procs)
+    report.data = {"speedups": speedups}
+    return report
+
+
+_SIM_FIGURES = [
+    ("fig9", "sor_sim", "Figure 9", "AH and HS near-linear, AS "
+     "sub-linear (nearest-neighbour sharing suits the hierarchy)."),
+    ("fig10", "tsp19", "Figure 10", "AH ~ HS > AS; the gap opens as "
+     "the compute-to-communication ratio shrinks with more CPUs."),
+    ("fig11", "mwater", "Figure 11", "Only AH keeps improving; AS "
+     "peaks earliest, HS peaks mid-range (synchronization bound)."),
+]
+
+for _fid, _wl, _ref, _note in _SIM_FIGURES:
+    def _make_sim(fid=_fid, wl=_wl):
+        def _run(scale: Scale) -> Report:
+            return _sim_figure(fid, wl, scale)
+        return _run
+    _register(_fid, f"{_wl} on AH/HS/AS (simulation)", _ref,
+              _note)(_make_sim())
+
+
+# ======================================================================
+# Figures 12-13: message and data totals, HS vs AS
+# ======================================================================
+_TRAFFIC_CACHE: Dict[Scale, tuple] = {}
+
+
+def _traffic_runs(scale: Scale):
+    """AS and HS runs at the largest machine (shared by fig12/fig13)."""
+    cached = _TRAFFIC_CACHE.get(scale)
+    if cached is not None:
+        return cached
+    procs = max(SIMULATED_PROCS[scale])
+    out = {}
+    for workload in SIM_WORKLOADS:
+        app = make_app(workload, scale)
+        out[workload] = {
+            "as": AllSoftwareMachine().run(app, procs),
+            "hs": HybridMachine().run(app, procs),
+        }
+    _TRAFFIC_CACHE[scale] = (procs, out)
+    return procs, out
+
+
+@_register("fig12", "Total messages, HS vs AS", "Figure 12",
+           "HS sends a small fraction of AS's messages (1/4 .. 1/9, "
+           "application dependent); sync messages shrink least.")
+def run_fig12(scale: Scale) -> Report:
+    procs, runs = _traffic_runs(scale)
+    rows = []
+    data = {}
+    for workload, pair in runs.items():
+        as_c, hs_c = pair["as"].counters, pair["hs"].counters
+        total_as = max(1, as_c.total_messages)
+        rows.append([
+            workload,
+            as_c.miss_messages, as_c.sync_messages,
+            hs_c.miss_messages, hs_c.sync_messages,
+            100.0 * hs_c.total_messages / total_as,
+        ])
+        data[workload] = {
+            "as_miss": as_c.miss_messages, "as_sync": as_c.sync_messages,
+            "hs_miss": hs_c.miss_messages, "hs_sync": hs_c.sync_messages,
+        }
+    report = Report("fig12", f"Total messages at {procs} processors "
+                             f"(HS as % of AS)")
+    report.lines = fmt.format_table(
+        ["program", "AS miss", "AS sync", "HS miss", "HS sync",
+         "HS % of AS"], rows)
+    report.data = data
+    return report
+
+
+@_register("fig13", "Total data, HS vs AS", "Figure 13",
+           "HS moves ~1/4 .. 1/8 of AS's data; diff coalescing cuts "
+           "miss data, notice batching cuts consistency data.")
+def run_fig13(scale: Scale) -> Report:
+    procs, runs = _traffic_runs(scale)
+    rows = []
+    data = {}
+    for workload, pair in runs.items():
+        as_c, hs_c = pair["as"].counters, pair["hs"].counters
+        total_as = max(1, as_c.total_bytes)
+        rows.append([
+            workload,
+            as_c.miss_data_bytes // 1024, as_c.consistency_bytes // 1024,
+            as_c.header_bytes // 1024,
+            hs_c.miss_data_bytes // 1024, hs_c.consistency_bytes // 1024,
+            hs_c.header_bytes // 1024,
+            100.0 * hs_c.total_bytes / total_as,
+        ])
+        data[workload] = {
+            "as": dict(miss=as_c.miss_data_bytes,
+                       consistency=as_c.consistency_bytes,
+                       header=as_c.header_bytes),
+            "hs": dict(miss=hs_c.miss_data_bytes,
+                       consistency=hs_c.consistency_bytes,
+                       header=hs_c.header_bytes),
+        }
+    report = Report("fig13", f"Total data (KB) at {procs} processors "
+                             f"(HS as % of AS)")
+    report.lines = fmt.format_table(
+        ["program", "AS miss", "AS cons", "AS hdr",
+         "HS miss", "HS cons", "HS hdr", "HS % of AS"], rows)
+    report.data = data
+    return report
+
+
+# ======================================================================
+# Figures 14-16: software-overhead sweeps
+# ======================================================================
+def _overhead_sweep(exp_id: str, workload: str, hybrid: bool,
+                    scale: Scale) -> Report:
+    procs = SIMULATED_PROCS[scale]
+    speedups: Dict[str, Dict[int, float]] = {}
+    for preset in OVERHEAD_SWEEP:
+        if hybrid:
+            machine = HybridMachine(
+                HybridMachine().params.with_overhead(preset))
+        else:
+            machine = AllSoftwareMachine(overhead_preset=preset)
+        app = make_app(workload, scale)
+        series = speedup_series(machine, app, (1,) + tuple(procs))
+        ov = preset.build()
+        label = (f"fixed={ov.fixed_send_cycles}"
+                 f",word={ov.per_word_cycles}")
+        speedups[label] = series.speedups()
+    arch = "HS" if hybrid else "AS"
+    report = Report(exp_id, f"{workload} on {arch}, software-overhead "
+                            f"sweep")
+    report.lines = fmt.format_speedups(speedups, procs)
+    report.data = {"speedups": speedups}
+    return report
+
+
+@_register("fig14", "Overhead sweep: AS, SOR", "Figure 14",
+           "Fixed per-message cost dominates SOR on AS; reducing it "
+           "brings AS near AH/HS.")
+def run_fig14(scale: Scale) -> Report:
+    return _overhead_sweep("fig14", "sor_sim", False, scale)
+
+
+@_register("fig15", "Overhead sweep: AS, M-Water", "Figure 15",
+           "Fixed and per-word costs matter about equally for M-Water "
+           "on AS.")
+def run_fig15(scale: Scale) -> Report:
+    return _overhead_sweep("fig15", "mwater", False, scale)
+
+
+@_register("fig16", "Overhead sweep: HS, M-Water", "Figure 16",
+           "On HS the fixed cost matters more than per-word (diff "
+           "coalescing already cut the data volume).")
+def run_fig16(scale: Scale) -> Report:
+    return _overhead_sweep("fig16", "mwater", True, scale)
+
+
+# ======================================================================
+# In-text experiments
+# ======================================================================
+@_register("x1", "TSP with eager lock release", "§2.4.3",
+           "Eager release propagates the bound at release time and "
+           "recovers most of the SGI gap.")
+def run_x1(scale: Scale) -> Report:
+    app_name = "tsp19"
+    machines = [
+        DecTreadMarksMachine(),
+        DecTreadMarksMachine(eager_locks=frozenset({1})),  # bound lock
+        SgiMachine(),
+    ]
+    rows = []
+    data = {}
+    for machine in machines:
+        app = make_app(app_name, scale)
+        series = speedup_series(machine, app, EXPERIMENTAL_PROCS)
+        top = series.speedups()[max(EXPERIMENTAL_PROCS)]
+        result = series.at(max(EXPERIMENTAL_PROCS))
+        expansions = result.app_output.get("parallel_expansions", 0)
+        rows.append([machine.name, top, expansions])
+        data[machine.name] = {"speedup": top, "expansions": expansions}
+    report = Report("x1", "TSP: lazy vs eager release vs SGI "
+                          "(8 processors)")
+    report.lines = fmt.format_table(
+        ["machine", "speedup@8", "expansions"], rows)
+    report.data = data
+    return report
+
+
+@_register("x2", "Kernel-level TreadMarks", "§2.4.4",
+           "Kernel-level messaging sharply improves M-Water; barrier "
+           "apps (ILINK, SOR) barely change.")
+def run_x2(scale: Scale) -> Report:
+    rows = []
+    data = {}
+    for workload in ("sor_small", "ilink_clp", "tsp19", "mwater"):
+        user = speedup_series(DecTreadMarksMachine(),
+                              make_app(workload, scale),
+                              EXPERIMENTAL_PROCS)
+        kernel = speedup_series(DecTreadMarksMachine(kernel_level=True),
+                                make_app(workload, scale),
+                                EXPERIMENTAL_PROCS)
+        sgi = speedup_series(SgiMachine(), make_app(workload, scale),
+                             EXPERIMENTAL_PROCS)
+        p = max(EXPERIMENTAL_PROCS)
+        rows.append([workload, user.speedups()[p], kernel.speedups()[p],
+                     sgi.speedups()[p]])
+        data[workload] = {"user": user.speedups()[p],
+                          "kernel": kernel.speedups()[p],
+                          "sgi": sgi.speedups()[p]}
+    report = Report("x2", "User-level vs kernel-level TreadMarks "
+                          "(speedup at 8 processors)")
+    report.lines = fmt.format_table(
+        ["program", "user-level", "kernel-level", "SGI"], rows)
+    report.data = data
+    return report
+
+
+@_register("x3", "SOR with every point changing", "§2.3/§2.4.2",
+           "Equalizing data movement: TreadMarks moves far more data "
+           "than with the zero interior, but still beats the SGI.")
+def run_x3(scale: Scale) -> Report:
+    rows = []
+    data = {}
+    for workload in ("sor_large", "sor_alldirty"):
+        app = make_app(workload, scale)
+        tm = speedup_series(DecTreadMarksMachine(), app,
+                            EXPERIMENTAL_PROCS)
+        sgi = speedup_series(SgiMachine(), make_app(workload, scale),
+                             EXPERIMENTAL_PROCS)
+        p = max(EXPERIMENTAL_PROCS)
+        tm_top = tm.at(p)
+        rows.append([app.name, tm.speedups()[p], sgi.speedups()[p],
+                     tm_top.counters.total_bytes // 1024])
+        data[workload] = {"tm": tm.speedups()[p],
+                          "sgi": sgi.speedups()[p],
+                          "tm_kbytes": tm_top.counters.total_bytes / 1024}
+    report = Report("x3", "SOR data-movement control experiment "
+                          "(8 processors)")
+    report.lines = fmt.format_table(
+        ["program", "TreadMarks sp", "SGI sp", "TM total KB"], rows)
+    report.data = data
+    return report
+
+
+class _BarrierOnlyApp:
+    """Micro-benchmark: every processor hits one barrier."""
+
+    name = "sync-barrier"
+
+    def regions(self, nprocs):
+        return {"pad": 4096}
+
+    def init_data(self, ctx):
+        pass
+
+    def programs(self, ctx):
+        from repro.apps import ops
+
+        def prog():
+            yield ops.Barrier()
+        return [prog() for _ in range(ctx.nprocs)]
+
+    def verify(self, ctx):
+        return {}
+
+    def check_nprocs(self, nprocs):
+        pass
+
+
+class _LockPingApp:
+    """Micro-benchmark: one cold remote lock acquisition.
+
+    Lock 0's manager is node 0; node 2 takes and releases the token
+    first, so node 1's later acquisition walks the full three-message
+    path (request to the manager, forward to the holder, grant back).
+    The warm-up delay keeps the phases strictly ordered.
+    """
+
+    name = "sync-lock"
+    DELAY = 1_000_000
+
+    def regions(self, nprocs):
+        return {"pad": 4096}
+
+    def init_data(self, ctx):
+        pass
+
+    def programs(self, ctx):
+        from repro.apps import ops
+
+        def manager_node():
+            yield ops.Compute(1)
+
+        def first_holder():
+            yield ops.Acquire(0)
+            yield ops.Release(0)
+
+        def requester():
+            yield ops.Compute(self.DELAY)
+            yield ops.Acquire(0)
+            yield ops.Release(0)
+        return [manager_node(), requester(), first_holder()]
+
+    def verify(self, ctx):
+        return {}
+
+    def check_nprocs(self, nprocs):
+        pass
+
+
+@_register("x4", "Synchronization micro-costs", "§2.2 / §2.4.4",
+           "Minimum remote lock acquisition and 8-processor barrier "
+           "times; the kernel-level implementation roughly halves "
+           "both.")
+def run_x4(scale: Scale) -> Report:
+    rows = []
+    data = {}
+    for label, machine in (
+            ("user-level", DecTreadMarksMachine()),
+            ("kernel-level", DecTreadMarksMachine(kernel_level=True))):
+        lock_run = machine.run(_LockPingApp(), 3)
+        lock_cycles = lock_run.cycles - _LockPingApp.DELAY
+        lock_ms = 1e3 * lock_cycles / machine.clock_hz
+        barrier_run = machine.run(_BarrierOnlyApp(), 8)
+        barrier_ms = 1e3 * barrier_run.seconds
+        rows.append([label, lock_ms, barrier_ms])
+        data[label] = {"lock_ms": lock_ms, "barrier_ms": barrier_ms}
+    report = Report("x4", "Remote lock and 8-processor barrier times "
+                          "(milliseconds)")
+    report.lines = fmt.format_table(
+        ["implementation", "remote lock (ms)", "8-proc barrier (ms)"],
+        rows)
+    report.data = data
+    return report
+
+
+# ======================================================================
+# Ablations
+# ======================================================================
+@_register("a1", "Diffs vs whole-page transfer", "DESIGN.md A1",
+           "Whole-page transfers multiply data movement for "
+           "fine-grain-write applications.")
+def run_a1(scale: Scale) -> Report:
+    rows = []
+    data = {}
+    for workload in ("sor_small", "mwater"):
+        for use_diffs in (True, False):
+            machine = DecTreadMarksMachine(use_diffs=use_diffs)
+            app = make_app(workload, scale)
+            series = speedup_series(machine, app, (1, 8))
+            p8 = series.at(8)
+            rows.append([app.name, machine.name, series.speedups()[8],
+                         p8.counters.total_bytes // 1024])
+            data[(workload, use_diffs)] = {
+                "speedup": series.speedups()[8],
+                "bytes": p8.counters.total_bytes,
+            }
+    report = Report("a1", "Diff-based vs whole-page data movement "
+                          "(8 processors)")
+    report.lines = fmt.format_table(
+        ["program", "machine", "speedup@8", "total KB"], rows)
+    report.data = {f"{k[0]}|diffs={k[1]}": v for k, v in data.items()}
+    return report
+
+
+@_register("a2", "Lazy vs eager release across applications",
+           "DESIGN.md A2",
+           "Eager release helps the unsynchronized-read pattern (TSP) "
+           "and hurts high-lock-rate applications (more messages).")
+def run_a2(scale: Scale) -> Report:
+    rows = []
+    data = {}
+    for workload in ("tsp19", "mwater", "sor_small"):
+        lazy = speedup_series(DecTreadMarksMachine(),
+                              make_app(workload, scale), (1, 8))
+        eager = speedup_series(DecTreadMarksMachine(eager_locks="all"),
+                               make_app(workload, scale), (1, 8))
+        rows.append([workload, lazy.speedups()[8], eager.speedups()[8],
+                     lazy.at(8).counters.total_messages,
+                     eager.at(8).counters.total_messages])
+        data[workload] = {
+            "lazy": lazy.speedups()[8], "eager": eager.speedups()[8],
+            "lazy_msgs": lazy.at(8).counters.total_messages,
+            "eager_msgs": eager.at(8).counters.total_messages,
+        }
+    report = Report("a2", "Lazy vs eager release (8 processors)")
+    report.lines = fmt.format_table(
+        ["program", "lazy sp", "eager sp", "lazy msgs", "eager msgs"],
+        rows)
+    report.data = data
+    return report
+
+
+@_register("a3", "HS node-size sweep", "DESIGN.md A3",
+           "Larger nodes cut messages; returns diminish once the node "
+           "bus and the per-node DSM serialize.")
+def run_a3(scale: Scale) -> Report:
+    procs = max(SIMULATED_PROCS[scale])
+    rows = []
+    data = {}
+    for node_size in (1, 2, 4, 8, 16):
+        from dataclasses import replace
+        params = replace(HybridMachine().params, procs_per_node=node_size)
+        machine = HybridMachine(params)
+        for workload in ("sor_small", "mwater"):
+            app = make_app(workload, scale)
+            series = speedup_series(machine, app, (1, procs))
+            r = series.at(procs)
+            rows.append([workload, node_size, series.speedups()[procs],
+                         r.counters.total_messages])
+            data[(workload, node_size)] = {
+                "speedup": series.speedups()[procs],
+                "messages": r.counters.total_messages,
+            }
+    report = Report("a3", f"HS node-size sweep at {procs} processors")
+    report.lines = fmt.format_table(
+        ["program", "procs/node", "speedup", "messages"], rows)
+    report.data = {f"{k[0]}|node={k[1]}": v for k, v in data.items()}
+    return report
+
+
+def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
+    """Run one experiment by id at the given scale."""
+    return get_experiment(exp_id).run(scale)
+
+
+def list_experiments() -> List[Experiment]:
+    order = (["t1", "t2"] + [f"fig{i}" for i in range(1, 17)] +
+             ["x1", "x2", "x3", "x4", "a1", "a2", "a3"])
+    return [REGISTRY[k] for k in order if k in REGISTRY]

@@ -1,0 +1,38 @@
+"""Shared run helpers: speedup curves and statistics collection."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.apps.base import Application
+from repro.machines.base import Machine
+from repro.stats.result import RunResult, SpeedupSeries
+
+MachineFactory = Callable[[], Machine]
+
+
+def speedup_series(machine: Machine, app: Application,
+                   procs: Iterable[int], *,
+                   base_result: Optional[RunResult] = None
+                   ) -> SpeedupSeries:
+    """Run ``app`` at each processor count; speedups vs the 1-proc run.
+
+    Follows the paper's methodology: the baseline is the
+    single-processor execution on the same machine family (which for
+    TreadMarks is indistinguishable from a plain workstation — the
+    protocol engages no remote machinery at one node).
+    """
+    if base_result is None:
+        base_result = machine.run(app, 1)
+    series = SpeedupSeries(machine.name, app.name, base_result.seconds)
+    for p in procs:
+        result = base_result if p == 1 else machine.run(app, p)
+        series.add(result)
+    return series
+
+
+def compare_machines(machines: Iterable[Machine], app: Application,
+                     procs: Iterable[int]) -> Dict[str, SpeedupSeries]:
+    """One speedup series per machine, same workload."""
+    procs = list(procs)
+    return {m.name: speedup_series(m, app, procs) for m in machines}

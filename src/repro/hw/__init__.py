@@ -1,0 +1,15 @@
+"""Hardware shared-memory implementations.
+
+* :mod:`repro.hw.snoop` — Illinois-protocol bus snooping (the SGI
+  4D/480 and the inside of each HS node).
+* :mod:`repro.hw.directory` — full-map directory coherence over a
+  crossbar (the AH architecture).
+* :mod:`repro.hw.sync` — hardware synchronization gadgets (shared
+  memory locks and barriers) used by both.
+"""
+
+from repro.hw.directory import DirectorySystem
+from repro.hw.snoop import SnoopingSystem
+from repro.hw.sync import HwBarrier, HwLockTable
+
+__all__ = ["SnoopingSystem", "DirectorySystem", "HwLockTable", "HwBarrier"]

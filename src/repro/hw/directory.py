@@ -1,0 +1,265 @@
+"""Full-map directory coherence over a crossbar (the AH architecture).
+
+Each node is home to an interleaved share of physical pages.  The
+directory tracks, per line, an exclusive owner and a sharer bitmask.
+Miss latencies fall into the paper's three classes (§3.1): satisfied
+by local memory, by a clean remote home, or by a dirty line at a third
+node — the 20 / 90..130-cycle range quoted for DASH/FLASH-class
+machines.  Processors block on misses (in-order CPUs), so bulk-access
+latency is the serial sum of per-line services; crossbar ports add
+queueing when traffic converges on one node (e.g. TSP's shared queue).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.directcache import DirectMappedCache, EXCLUSIVE
+from repro.net.crossbar import CrossbarNetwork
+from repro.stats.counters import Counters
+
+_BYTE_POPCOUNT = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(axis=1)
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element population count of a uint64 array."""
+    as_bytes = values.view(np.uint8).reshape(values.size, 8)
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=1)
+
+
+class DirectorySystem:
+    """Directory-based coherent memory across uniprocessor nodes."""
+
+    def __init__(self, caches: List[DirectMappedCache],
+                 network: CrossbarNetwork, counters: Counters, *,
+                 total_lines: int, lines_per_page: int,
+                 line_bytes: int,
+                 hit_cycles: float = 1.0,
+                 local_miss_cycles: int = 20,
+                 remote_clean_cycles: int = 90,
+                 remote_dirty_cycles: int = 130,
+                 request_bytes: int = 16) -> None:
+        if len(caches) > 64:
+            raise ConfigurationError(
+                "directory sharer bitmask supports at most 64 processors")
+        self.caches = caches
+        self.network = network
+        self.counters = counters
+        self.num_procs = len(caches)
+        self.total_lines = total_lines
+        self.lines_per_page = lines_per_page
+        self.line_bytes = line_bytes
+        self.hit_cycles = hit_cycles
+        self.local_miss_cycles = local_miss_cycles
+        self.remote_clean_cycles = remote_clean_cycles
+        self.remote_dirty_cycles = remote_dirty_cycles
+        self.request_bytes = request_bytes
+        self.owner = np.full(total_lines, -1, dtype=np.int32)
+        self.sharers = np.zeros(total_lines, dtype=np.uint64)
+        total_pages = max(1, total_lines // lines_per_page)
+        self._page_home = np.full(total_pages, -1, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    def home_of(self, lines: np.ndarray) -> np.ndarray:
+        """Home node of each line (first-touch page placement).
+
+        A page's home is the first node that accesses it — the
+        standard NUMA placement of the era, which lands
+        band-partitioned data (SOR's grid, Water's molecule array) at
+        its owner regardless of how partitions align with pages.
+        """
+        pages = lines // self.lines_per_page
+        homes = self._page_home[pages]
+        return homes
+
+    def _claim_homes(self, proc: int, lines: np.ndarray) -> None:
+        """First-touch: unplaced pages become local to the toucher."""
+        if lines.size == 0:
+            return
+        pages = lines // self.lines_per_page
+        unset = self._page_home[pages] < 0
+        if unset.any():
+            self._page_home[pages[unset]] = proc
+
+    def _bit(self, proc: int) -> np.uint64:
+        return np.uint64(1) << np.uint64(proc)
+
+    def _charge_ports(self, proc: int, lines: np.ndarray,
+                      now: int) -> int:
+        """Occupy crossbar ports for a batch of line transfers.
+
+        Requests leave the requester; responses converge on it; each
+        involved home's output port carries its share.
+        """
+        if lines.size == 0:
+            return now
+        homes = self.home_of(lines)
+        remote = homes != proc
+        n_remote = int(np.count_nonzero(remote))
+        if n_remote == 0:
+            return now
+        wire_line = self.network.wire_cycles(self.line_bytes)
+        wire_req = self.network.wire_cycles(self.request_bytes)
+        self.counters.network_hops += 2 * n_remote
+        _s, out_end = self.network.out_ports[proc].acquire(
+            now, wire_req * n_remote)
+        end = out_end
+        counts = np.bincount(homes[remote], minlength=self.num_procs)
+        for home in np.flatnonzero(counts):
+            _s, h_end = self.network.out_ports[home].acquire(
+                now, wire_line * int(counts[home]))
+            end = max(end, h_end)
+        _s, in_end = self.network.in_ports[proc].acquire(
+            now, wire_line * n_remote)
+        return max(end, in_end)
+
+    def _classify(self, proc: int, lines: np.ndarray):
+        """Split miss lines into latency classes."""
+        own = self.owner[lines]
+        dirty_remote = (own >= 0) & (own != proc)
+        homes = self.home_of(lines)
+        local = (homes == proc) & ~dirty_remote
+        remote_clean = (homes != proc) & ~dirty_remote
+        return local, remote_clean, dirty_remote
+
+    # ------------------------------------------------------------------
+    def read(self, proc: int, first_line: int, last_line: int,
+             now: int) -> int:
+        cache = self.caches[proc]
+        res = cache.read(first_line, last_line)
+        self.counters.cache_hits += res.hits
+        latency = int(res.hits * self.hit_cycles)
+        if res.misses == 0 and res.writebacks == 0:
+            return now + latency
+
+        lines = res.miss_lines
+        self._claim_homes(proc, lines)
+        local, remote_clean, dirty_remote = self._classify(proc, lines)
+        latency += (int(np.count_nonzero(local)) * self.local_miss_cycles +
+                    int(np.count_nonzero(remote_clean)) *
+                    self.remote_clean_cycles +
+                    int(np.count_nonzero(dirty_remote)) *
+                    self.remote_dirty_cycles)
+        self.counters.cache_misses_local += int(np.count_nonzero(local))
+        self.counters.cache_misses_remote += int(
+            np.count_nonzero(remote_clean | dirty_remote))
+
+        # Owned (E/M) third-party copies are downgraded to SHARED and
+        # dirty data is supplied cache-to-cache / written back.
+        owned_lines = lines[dirty_remote]
+        if owned_lines.size:
+            owners = self.owner[owned_lines]
+            for q in np.unique(owners):
+                q_lines = owned_lines[owners == q]
+                _present, dirty = self.caches[int(q)].downgrade_lines(
+                    q_lines)
+                self.counters.writebacks += dirty
+                self.counters.cache_to_cache += dirty
+                self.sharers[q_lines] |= self._bit(int(q))
+            self.owner[owned_lines] = -1
+
+        # Register sharing; a line nobody else holds fills EXCLUSIVE
+        # and takes directory ownership, so the later silent E -> M
+        # upgrade is already covered.
+        unshared = lines[(self.sharers[lines] == 0) &
+                         (self.owner[lines] == -1)]
+        self.sharers[lines] |= self._bit(proc)
+        if unshared.size:
+            cache.promote(unshared, EXCLUSIVE)
+            self.owner[unshared] = proc
+        self._handle_evictions(proc, res)
+
+        end_ports = self._charge_ports(proc, lines, now + latency)
+        return max(now + latency, end_ports)
+
+    def write(self, proc: int, first_line: int, last_line: int,
+              now: int) -> int:
+        cache = self.caches[proc]
+        res = cache.write(first_line, last_line)
+        self.counters.cache_hits += res.hits
+        latency = int(res.hits * self.hit_cycles)
+        need_own = (np.concatenate([res.miss_lines, res.upgrade_lines])
+                    if res.upgrade_lines.size else res.miss_lines)
+        if need_own.size == 0 and res.writebacks == 0:
+            return now + latency
+
+        self._claim_homes(proc, need_own)
+        local, remote_clean, dirty_remote = self._classify(proc, need_own)
+        others = self.sharers[need_own] & ~self._bit(proc)
+        n_inval = int(popcount(others).sum())
+        has_sharers = others != 0
+
+        # Lines with other sharers or a dirty owner pay the long
+        # latency class; clean exclusive-to-us lines pay their home's.
+        expensive = dirty_remote | has_sharers
+        latency += (int(np.count_nonzero(expensive)) *
+                    self.remote_dirty_cycles +
+                    int(np.count_nonzero(local & ~expensive)) *
+                    self.local_miss_cycles +
+                    int(np.count_nonzero(remote_clean & ~expensive)) *
+                    self.remote_clean_cycles)
+        self.counters.cache_misses_local += int(
+            np.count_nonzero(local & ~expensive))
+        self.counters.cache_misses_remote += int(
+            np.count_nonzero(expensive | (remote_clean & ~expensive)))
+        self.counters.invalidations += n_inval
+
+        # Invalidate every other copy.
+        if n_inval or dirty_remote.any():
+            for q in range(self.num_procs):
+                if q == proc:
+                    continue
+                q_bit = self._bit(q)
+                q_lines = need_own[(others & q_bit) != 0]
+                if q_lines.size:
+                    self.caches[q].invalidate_lines(q_lines)
+            dirty_lines = need_own[dirty_remote]
+            if dirty_lines.size:
+                owners = self.owner[dirty_lines]
+                for q in np.unique(owners):
+                    if int(q) == proc:
+                        continue
+                    q_lines = dirty_lines[owners == q]
+                    self.caches[int(q)].invalidate_lines(q_lines)
+                    self.counters.writebacks += int(q_lines.size)
+
+        self.owner[need_own] = proc
+        self.sharers[need_own] = self._bit(proc)
+        self._handle_evictions(proc, res)
+
+        end_ports = self._charge_ports(proc, need_own, now + latency)
+        return max(now + latency, end_ports)
+
+    # ------------------------------------------------------------------
+    def _handle_evictions(self, proc: int, res) -> None:
+        """Deregister evicted lines (dirty ones write back to home)."""
+        if res.evicted_dirty_lines.size:
+            mine = res.evicted_dirty_lines[
+                self.owner[res.evicted_dirty_lines] == proc]
+            self.owner[mine] = -1
+            self.sharers[res.evicted_dirty_lines] &= ~self._bit(proc)
+            self.counters.writebacks += int(res.evicted_dirty_lines.size)
+        if res.evicted_clean_lines.size:
+            # Clean EXCLUSIVE victims also drop directory ownership.
+            mine = res.evicted_clean_lines[
+                self.owner[res.evicted_clean_lines] == proc]
+            self.owner[mine] = -1
+            self.sharers[res.evicted_clean_lines] &= ~self._bit(proc)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Directory invariants (used by tests).
+
+        A line with an owner has exactly that sharer bit set; a cache
+        line in MODIFIED state must be registered as owned.
+        """
+        owned = self.owner >= 0
+        if owned.any():
+            bits = self.sharers[owned]
+            expect = np.uint64(1) << self.owner[owned].astype(np.uint64)
+            if not (bits == expect).all():
+                raise AssertionError("owned lines must have a single sharer")

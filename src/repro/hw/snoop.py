@@ -1,0 +1,145 @@
+"""Illinois-protocol snooping coherence on a shared bus.
+
+Models the SGI 4D/480's second-level caches (§2.2): write-back,
+direct-mapped, kept coherent by bus snooping with cache-to-cache
+supply of dirty lines (the Illinois protocol of Papamarcos & Patel).
+The processor blocks on misses, and every miss, upgrade, and writeback
+occupies the shared bus — so bus saturation emerges naturally when
+several processors stream data, which is exactly the effect that lets
+the TreadMarks network outperform the 4D/480 on SOR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mem.directcache import (DirectMappedCache, EXCLUSIVE, SHARED)
+from repro.net.bus import BusModel
+from repro.stats.counters import Counters
+
+
+class SnoopingSystem:
+    """A set of caches snooping one bus."""
+
+    def __init__(self, caches: List[DirectMappedCache], bus: BusModel,
+                 counters: Counters, *, line_bytes: int,
+                 hit_cycles: float = 1.0,
+                 memory_extra_cycles: int = 10,
+                 hold_bus_during_memory: bool = True) -> None:
+        self.caches = caches
+        self.bus = bus
+        self.counters = counters
+        self.line_bytes = line_bytes
+        self.hit_cycles = hit_cycles
+        self.memory_extra_cycles = memory_extra_cycles
+        #: Circuit-switched buses (the 4D/480) hold the bus while
+        #: memory services the request; split-transaction buses (HS
+        #: nodes, which the paper grants "sufficient bus bandwidth to
+        #: avoid contention") release it and only the requester waits.
+        self.hold_bus_during_memory = hold_bus_during_memory
+
+    # ------------------------------------------------------------------
+    def _others_with(self, proc: int, lines: np.ndarray):
+        """(any_present, any_dirty) masks over ``lines`` across peers."""
+        any_present = np.zeros(lines.size, dtype=bool)
+        any_dirty = np.zeros(lines.size, dtype=bool)
+        for q, cache in enumerate(self.caches):
+            if q == proc:
+                continue
+            present, dirty = cache.probe_lines(lines)
+            any_present |= present
+            any_dirty |= dirty
+        return any_present, any_dirty
+
+    def _miss_service(self, now: int, n_fills: int, n_writebacks: int,
+                      n_upgrades: int) -> int:
+        """Charge the bus for a batch of transactions; returns end time.
+
+        Fill and writeback transactions move a full line; upgrade
+        (invalidate) transactions are address-only.  Memory service
+        time is charged while the bus is held, 4D/480-style.
+        """
+        end = now
+        if n_fills + n_writebacks:
+            per = self.bus.timing.transaction_cycles(self.line_bytes)
+            trailing = 0
+            if self.hold_bus_during_memory:
+                per += self.memory_extra_cycles
+            else:
+                trailing = self.memory_extra_cycles * n_fills
+            occupancy = per * (n_fills + n_writebacks)
+            _s, end = self.bus.resource.acquire(now, occupancy)
+            end += trailing
+            self.bus.counters.bus_transactions += n_fills + n_writebacks
+            self.bus.counters.bus_data_bytes += (
+                (n_fills + n_writebacks) * self.line_bytes)
+        if n_upgrades:
+            per = self.bus.timing.transaction_cycles(0)
+            _s, end2 = self.bus.resource.acquire(max(now, end),
+                                                 per * n_upgrades)
+            self.bus.counters.bus_transactions += n_upgrades
+            end = max(end, end2)
+        return end
+
+    # ------------------------------------------------------------------
+    def read(self, proc: int, first_line: int, last_line: int,
+             now: int) -> int:
+        """Bulk read; returns the completion time."""
+        cache = self.caches[proc]
+        res = cache.read(first_line, last_line)
+        self.counters.cache_hits += res.hits
+        hit_cost = int(res.hits * self.hit_cycles)
+        if res.misses == 0 and res.writebacks == 0:
+            return now + hit_cost
+
+        any_present, any_dirty = self._others_with(proc, res.miss_lines)
+        n_c2c = int(np.count_nonzero(any_dirty))
+        self.counters.cache_to_cache += n_c2c
+        self.counters.cache_misses_local += res.misses
+
+        # Dirty suppliers are downgraded to SHARED (and memory is
+        # updated); lines nobody else holds fill EXCLUSIVE.
+        for q, other in enumerate(self.caches):
+            if q == proc:
+                continue
+            _present, dirty = other.probe_lines(res.miss_lines)
+            if dirty.any():
+                other.promote(res.miss_lines[dirty], SHARED)
+        exclusive_fill = res.miss_lines[~any_present]
+        cache.promote(exclusive_fill, EXCLUSIVE)
+
+        end = self._miss_service(now + hit_cost, res.misses,
+                                 res.writebacks, 0)
+        self.counters.writebacks += res.writebacks
+        return end
+
+    def write(self, proc: int, first_line: int, last_line: int,
+              now: int) -> int:
+        """Bulk write; returns the completion time."""
+        cache = self.caches[proc]
+        res = cache.write(first_line, last_line)
+        self.counters.cache_hits += res.hits
+        hit_cost = int(res.hits * self.hit_cycles)
+        self.counters.cache_misses_local += res.misses
+
+        # Invalidate every other copy of missed or upgraded lines;
+        # dirty remote copies are flushed (one extra transaction each).
+        need_own = (np.concatenate([res.miss_lines, res.upgrade_lines])
+                    if res.upgrade_lines.size else res.miss_lines)
+        n_flush = 0
+        if need_own.size:
+            for q, other in enumerate(self.caches):
+                if q == proc:
+                    continue
+                present, dirty = other.invalidate_lines(need_own)
+                self.counters.invalidations += present
+                n_flush += dirty
+
+        end = self._miss_service(now + hit_cost,
+                                 res.misses + n_flush,
+                                 res.writebacks,
+                                 res.upgrades)
+        self.counters.writebacks += res.writebacks
+        return end

@@ -1,0 +1,167 @@
+"""Hardware synchronization gadgets: shared-memory locks and barriers.
+
+On the SGI 4D/480 and the AH machine, locks and barriers are ordinary
+shared-memory algorithms (test-and-set / counters); their cost is a
+handful of coherence transactions rather than kernel-mediated
+messages.  The gadgets here charge parametric per-operation costs and
+serialize through a resource (the snooping bus, or the barrier
+counter's home-node port), so contention behaves realistically without
+simulating the spin loops instruction by instruction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+
+DoneCallback = Callable[[int], None]
+
+
+@dataclass
+class _HwLock:
+    held: bool = False
+    holder: Optional[int] = None
+    last_owner: Optional[int] = None
+    waiters: Deque = field(default_factory=deque)
+    acquires: int = 0
+    contended: int = 0
+    migrations: int = 0
+
+
+class HwLockTable:
+    """Test-and-set style locks with FIFO handoff.
+
+    The lock word lives in a cache line: a processor that reacquires a
+    lock it released last (the line is still in its cache, EXCLUSIVE)
+    pays only ``local_cycles``; acquiring a lock last held elsewhere
+    migrates the line — a coherence transaction through ``serializer``
+    costing ``acquire_cycles``.  This line-affinity behaviour is why
+    mostly-private locks (Water's own-molecule updates) are nearly
+    free on hardware while migrating locks pay bus/network latency.
+    """
+
+    def __init__(self, engine: Engine, *,
+                 acquire_cycles: int,
+                 release_cycles: int,
+                 handoff_cycles: int,
+                 local_cycles: int = 5,
+                 serializer: Optional[Resource] = None) -> None:
+        self.engine = engine
+        self.acquire_cycles = acquire_cycles
+        self.release_cycles = release_cycles
+        self.handoff_cycles = handoff_cycles
+        self.local_cycles = local_cycles
+        self.serializer = serializer
+        self._locks: Dict[int, _HwLock] = {}
+
+    def _lock(self, lock_id: int) -> _HwLock:
+        lock = self._locks.get(lock_id)
+        if lock is None:
+            lock = _HwLock()
+            self._locks[lock_id] = lock
+        return lock
+
+    def _charge(self, now: int, cycles: int) -> int:
+        if self.serializer is None:
+            return now + cycles
+        _s, end = self.serializer.acquire(now, cycles)
+        return end
+
+    # ------------------------------------------------------------------
+    def acquire(self, lock_id: int, proc: int, done: DoneCallback) -> None:
+        lock = self._lock(lock_id)
+        lock.acquires += 1
+        if not lock.held:
+            lock.held = True
+            lock.holder = proc
+            if lock.last_owner == proc or lock.last_owner is None:
+                at = self.engine.now + self.local_cycles
+            else:
+                lock.migrations += 1
+                at = self._charge(self.engine.now, self.acquire_cycles)
+            lock.last_owner = proc
+            self.engine.schedule_at(at, done, at)
+        else:
+            lock.contended += 1
+            lock.waiters.append((proc, done))
+
+    def release(self, lock_id: int, proc: int, done: DoneCallback) -> None:
+        lock = self._lock(lock_id)
+        if not lock.held or lock.holder != proc:
+            raise ProtocolError(
+                f"hw lock {lock_id} released by {proc}, holder is "
+                f"{lock.holder}")
+        at = self.engine.now + self.release_cycles
+        if lock.waiters:
+            next_proc, next_done = lock.waiters.popleft()
+            lock.holder = next_proc
+            lock.last_owner = next_proc
+            lock.migrations += 1
+            grant_at = self._charge(at, self.handoff_cycles)
+            self.engine.schedule_at(grant_at, next_done, grant_at)
+        else:
+            lock.held = False
+            lock.holder = None
+        self.engine.schedule_at(at, done, at)
+
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        return {lid: {"acquires": lk.acquires, "contended": lk.contended}
+                for lid, lk in self._locks.items()}
+
+
+@dataclass
+class _HwBarrierEpisode:
+    waiting: Dict[int, DoneCallback] = field(default_factory=dict)
+
+
+class HwBarrier:
+    """Centralized counter barrier.
+
+    Each arrival performs an atomic increment (serialized through the
+    counter's line); the last arrival releases everyone, and each
+    departure refetches the flag line (another serialized access), so
+    barrier cost grows linearly with the processor count as on a real
+    bus machine.
+    """
+
+    def __init__(self, engine: Engine, num_procs: int, *,
+                 arrive_cycles: int,
+                 depart_cycles: int,
+                 serializer: Optional[Resource] = None) -> None:
+        self.engine = engine
+        self.num_procs = num_procs
+        self.arrive_cycles = arrive_cycles
+        self.depart_cycles = depart_cycles
+        self.serializer = serializer
+        self._episodes: Dict[int, _HwBarrierEpisode] = {}
+        self.completed = 0
+
+    def _charge(self, now: int, cycles: int) -> int:
+        if self.serializer is None:
+            return now + cycles
+        _s, end = self.serializer.acquire(now, cycles)
+        return end
+
+    def arrive(self, barrier_id: int, proc: int, done: DoneCallback) -> None:
+        episode = self._episodes.get(barrier_id)
+        if episode is None:
+            episode = _HwBarrierEpisode()
+            self._episodes[barrier_id] = episode
+        if proc in episode.waiting:
+            raise ProtocolError(
+                f"proc {proc} arrived twice at hw barrier {barrier_id}")
+        episode.waiting[proc] = done
+        counted_at = self._charge(self.engine.now, self.arrive_cycles)
+        if len(episode.waiting) < self.num_procs:
+            return
+        # Last arrival: release everyone.
+        del self._episodes[barrier_id]
+        self.completed += 1
+        for _p, cb in episode.waiting.items():
+            at = self._charge(counted_at, self.depart_cycles)
+            self.engine.schedule_at(at, cb, at)

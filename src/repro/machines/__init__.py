@@ -1,0 +1,32 @@
+"""Machine models: the two experimental platforms and the three
+simulated large-scale architectures.
+
+* :class:`~repro.machines.dec_treadmarks.DecTreadMarksMachine` — eight
+  DECstation-5000/240s on a Fore ATM LAN running TreadMarks (§2.2).
+* :class:`~repro.machines.sgi.SgiMachine` — the SGI 4D/480 bus-based
+  snooping multiprocessor (§2.2).
+* :class:`~repro.machines.all_software.AllSoftwareMachine` — AS:
+  uniprocessor nodes + general-purpose network + TreadMarks (§3).
+* :class:`~repro.machines.all_hardware.AllHardwareMachine` — AH:
+  uniprocessor nodes + crossbar + directory protocol (§3).
+* :class:`~repro.machines.hybrid.HybridMachine` — HS: bus-based SMP
+  nodes + TreadMarks between nodes (§3).
+"""
+
+from repro.machines.all_hardware import AllHardwareMachine
+from repro.machines.all_software import AllSoftwareMachine
+from repro.machines.base import Machine
+from repro.machines.dec_treadmarks import DecTreadMarksMachine
+from repro.machines.hybrid import HybridMachine
+from repro.machines.sgi import SgiMachine
+from repro.machines import params
+
+__all__ = [
+    "Machine",
+    "DecTreadMarksMachine",
+    "SgiMachine",
+    "AllSoftwareMachine",
+    "AllHardwareMachine",
+    "HybridMachine",
+    "params",
+]

@@ -1,0 +1,123 @@
+"""The simulated all-hardware (AH) architecture of §3.1.
+
+Uniprocessor nodes on a crossbar with a full-map directory protocol.
+Misses are serviced in 20 cycles locally and 90-130 cycles remotely,
+DASH/FLASH-class numbers.  Locks and barriers are shared-memory
+algorithms whose critical accesses serialize at a home node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsm.bound import BoundMode
+from repro.hw.directory import DirectorySystem
+from repro.hw.sync import HwBarrier, HwLockTable
+from repro.machines.base import Machine, Runtime
+from repro.machines.params import AhParams
+from repro.mem.directcache import DirectMappedCache
+from repro.mem.layout import AddressSpace, Geometry
+from repro.net.crossbar import CrossbarNetwork
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+from repro.sim.task import ProcTask
+from repro.stats.counters import Counters
+
+
+class DirectoryRuntime(Runtime):
+    """Operation dispatch for the directory machine."""
+
+    def __init__(self, engine: Engine, space: AddressSpace,
+                 counters: Counters, nprocs: int, *,
+                 directory: DirectorySystem, locks: HwLockTable,
+                 barrier: HwBarrier) -> None:
+        super().__init__(engine, space, counters, nprocs,
+                         bound_mode=BoundMode.HARDWARE)
+        self.directory = directory
+        self.locks = locks
+        self.barrier = barrier
+
+    def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
+        first, last = self.space.geometry.line_span(addr, nbytes)
+        end = self.directory.read(task.proc_id, first, last,
+                                  self.engine.now)
+        task.resume(end)
+
+    def do_write(self, task: ProcTask, addr: int, nbytes: int,
+                 changed_bytes: int) -> None:
+        first, last = self.space.geometry.line_span(addr, nbytes)
+        end = self.directory.write(task.proc_id, first, last,
+                                   self.engine.now)
+        task.resume(end)
+
+    def do_acquire(self, task: ProcTask, lock: int) -> None:
+        self.counters.lock_acquires += 1
+        self.locks.acquire(lock, task.proc_id, task.resume)
+
+    def do_release(self, task: ProcTask, lock: int) -> None:
+        self.locks.release(lock, task.proc_id, task.resume)
+
+    def do_barrier(self, task: ProcTask, barrier_id: int) -> None:
+        self.barrier.arrive(barrier_id, task.proc_id, task.resume)
+
+    def finish_run(self) -> None:
+        self.counters.barriers = self.barrier.completed
+
+
+class AllHardwareMachine(Machine):
+    """AH: uniprocessor nodes + crossbar + directory coherence."""
+
+    def __init__(self, params: Optional[AhParams] = None) -> None:
+        super().__init__()
+        self.params = params or AhParams()
+        self.name = "ah"
+
+    @property
+    def clock_hz(self) -> float:
+        return self.params.clock_hz
+
+    def geometry(self) -> Geometry:
+        return Geometry(self.params.page_bytes, self.params.cpu.line_bytes)
+
+    def max_procs(self) -> int:
+        return 64  # directory sharer bitmask width
+
+    def build_runtime(self, engine: Engine, space: AddressSpace,
+                      counters: Counters, nprocs: int) -> DirectoryRuntime:
+        p = self.params
+        caches = [DirectMappedCache(p.cpu.cache_bytes, p.cpu.line_bytes,
+                                    name=f"c{i}") for i in range(nprocs)]
+        network = CrossbarNetwork(
+            engine, nprocs,
+            bandwidth_bytes_per_sec=p.crossbar_bandwidth_bytes,
+            latency_cycles=p.crossbar_latency_cycles,
+            clock_hz=p.clock_hz,
+            counters=counters,
+        )
+        directory = DirectorySystem(
+            caches, network, counters,
+            total_lines=space.total_lines,
+            lines_per_page=space.geometry.lines_per_page(),
+            line_bytes=p.cpu.line_bytes,
+            hit_cycles=p.cpu.hit_cycles,
+            local_miss_cycles=p.local_miss_cycles,
+            remote_clean_cycles=p.remote_clean_cycles,
+            remote_dirty_cycles=p.remote_dirty_cycles,
+        )
+        sync_home = Resource("ah.sync_home")
+        locks = HwLockTable(
+            engine,
+            acquire_cycles=p.lock_acquire_cycles,
+            release_cycles=p.lock_release_cycles,
+            handoff_cycles=p.lock_handoff_cycles,
+            serializer=sync_home,
+        )
+        barrier = HwBarrier(
+            engine, nprocs,
+            arrive_cycles=p.barrier_arrive_cycles,
+            depart_cycles=p.barrier_depart_cycles,
+            serializer=sync_home,
+        )
+        return DirectoryRuntime(engine, space, counters, nprocs,
+                                directory=directory, locks=locks,
+                                barrier=barrier)

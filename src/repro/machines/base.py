@@ -1,0 +1,167 @@
+"""Machine base class and the runtime/operation dispatch skeleton.
+
+A :class:`Machine` is a reusable description of a platform.  Each call
+to :meth:`Machine.run` builds a fresh engine, address space, store and
+*runtime* (the per-run :class:`~repro.sim.task.OpHandler`), executes
+the application's processor programs to completion, and returns a
+:class:`~repro.stats.result.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.apps.base import AppContext, Application
+from repro.apps import ops
+from repro.dsm.bound import BoundMode, SharedBound
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.layout import AddressSpace, Geometry
+from repro.mem.store import SharedStore
+from repro.sim.engine import Engine
+from repro.sim.task import OpHandler, ProcTask
+from repro.stats.counters import Counters
+from repro.stats.result import RunResult
+
+
+class Runtime(OpHandler):
+    """Per-run operation dispatcher; machines subclass this."""
+
+    def __init__(self, engine: Engine, space: AddressSpace,
+                 counters: Counters, nprocs: int, *,
+                 bound_mode: BoundMode,
+                 bound_push_latency: int = 0) -> None:
+        self.engine = engine
+        self.space = space
+        self.counters = counters
+        self.nprocs = nprocs
+        self.bound = SharedBound(bound_mode, nprocs,
+                                 push_latency_cycles=bound_push_latency)
+
+    # ------------------------------------------------------------------
+    def handle(self, task: ProcTask, op: Any) -> None:
+        if isinstance(op, ops.Compute):
+            task.busy_cycles += op.cycles
+            task.resume(self.engine.now + op.cycles)
+        elif isinstance(op, ops.Read):
+            addr, nbytes = self.space.span(op.region, op.offset, op.nbytes)
+            self.do_read(task, addr, nbytes)
+        elif isinstance(op, ops.Write):
+            addr, nbytes = self.space.span(op.region, op.offset, op.nbytes)
+            self.do_write(task, addr, nbytes, op.changed_bytes)
+        elif isinstance(op, ops.Acquire):
+            self.do_acquire(task, op.lock)
+        elif isinstance(op, ops.Release):
+            self.do_release(task, op.lock)
+        elif isinstance(op, ops.Barrier):
+            self.do_barrier(task, op.barrier_id)
+        elif isinstance(op, ops.ReadBound):
+            value = self.bound.read(task.proc_id, self.engine.now)
+            task.resume(self.engine.now + 1, value)
+        elif isinstance(op, ops.UpdateBound):
+            improved = self.bound.update(task.proc_id, op.value,
+                                         self.engine.now)
+            task.resume(self.engine.now + 1, improved)
+        else:
+            raise SimulationError(f"unknown operation {op!r}")
+
+    # -- abstract memory/sync hooks -------------------------------------
+    def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
+        raise NotImplementedError
+
+    def do_write(self, task: ProcTask, addr: int, nbytes: int,
+                 changed_bytes: int) -> None:
+        raise NotImplementedError
+
+    def do_acquire(self, task: ProcTask, lock: int) -> None:
+        raise NotImplementedError
+
+    def do_release(self, task: ProcTask, lock: int) -> None:
+        raise NotImplementedError
+
+    def do_barrier(self, task: ProcTask, barrier_id: int) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+    def sync_point(self, proc: int, time: int) -> None:
+        """Record a consistency sync point (bound visibility catches up)."""
+        self.bound.on_sync(proc, time)
+
+    def finish_run(self) -> None:
+        """Hook for end-of-run bookkeeping (optional)."""
+
+
+class Machine:
+    """A platform that can run applications; subclasses configure it."""
+
+    name: str = "machine"
+
+    def __init__(self) -> None:
+        self.last_runtime: Optional[Runtime] = None
+
+    # -- abstract configuration -----------------------------------------
+    @property
+    def clock_hz(self) -> float:
+        raise NotImplementedError
+
+    def geometry(self) -> Geometry:
+        raise NotImplementedError
+
+    def max_procs(self) -> int:
+        return 1024
+
+    def build_runtime(self, engine: Engine, space: AddressSpace,
+                      counters: Counters, nprocs: int) -> Runtime:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(self, app: Application, nprocs: int, *,
+            seed: int = 42,
+            params: Optional[Dict[str, Any]] = None) -> RunResult:
+        """Execute ``app`` on ``nprocs`` processors; returns results."""
+        app.check_nprocs(nprocs)
+        if nprocs > self.max_procs():
+            raise ConfigurationError(
+                f"{self.name} supports at most {self.max_procs()} "
+                f"processors, requested {nprocs}")
+
+        engine = Engine()
+        space = AddressSpace(self.geometry())
+        for region_name, size in app.regions(nprocs).items():
+            space.alloc(region_name, size)
+        store = SharedStore(space)
+        counters = Counters()
+
+        ctx = AppContext(store, nprocs, seed=seed, params=dict(params or {}))
+        app.init_data(ctx)
+
+        runtime = self.build_runtime(engine, space, counters, nprocs)
+        self.last_runtime = runtime
+
+        programs = app.programs(ctx)
+        if len(programs) != nprocs:
+            raise ConfigurationError(
+                f"{app.name} produced {len(programs)} programs for "
+                f"{nprocs} processors")
+        tasks = [ProcTask(engine, p, gen, runtime)
+                 for p, gen in enumerate(programs)]
+        for task in tasks:
+            task.start()
+        engine.run()
+        runtime.finish_run()
+
+        cycles = max((t.finish_time or 0) for t in tasks)
+        output = app.verify(ctx)
+        output.update(ctx.output)
+        return RunResult(
+            machine=self.name,
+            app=app.name,
+            nprocs=nprocs,
+            cycles=cycles,
+            clock_hz=self.clock_hz,
+            counters=counters,
+            app_output=output,
+            params={"seed": seed, **(params or {})},
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} '{self.name}'>"

@@ -1,0 +1,194 @@
+"""Parameter sets for every machine model.
+
+Every numeric literal elided from the OCR of the paper is pinned here
+as a named, documented parameter (see DESIGN.md "Elided-number
+calibration").  Experiments never hardcode machine numbers — they
+construct machines from these presets (or variations of them, via
+``dataclasses.replace``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import units
+from repro.net.bus import BusTiming
+from repro.net.overhead import OverheadPreset, SoftwareOverhead
+
+
+@dataclass(frozen=True)
+class LocalCacheParams:
+    """Per-processor cache used for *local* timing on DSM machines."""
+
+    cache_bytes: int = 64 * units.KIB
+    line_bytes: int = 64
+    hit_cycles: float = 0.5
+    #: DECstation main memory: ~0.35 cycles/byte at 40 MHz, "slightly
+    #: faster than the secondary cache of the D/480" (§2.2).
+    miss_cycles: int = 22
+
+
+@dataclass(frozen=True)
+class DecAtmParams:
+    """DECstation-5000/240 + Fore ATM LAN + TreadMarks (§2.2)."""
+
+    clock_hz: float = 40e6
+    page_bytes: int = 4096
+    cache: LocalCacheParams = field(default_factory=LocalCacheParams)
+    #: nominal 100 Mbit/s ATM; user-to-user throughput is far lower
+    user_bandwidth_bits: float = 30e6
+    switch_latency_s: float = 10e-6
+    header_bytes: int = 40
+    overhead_preset: OverheadPreset = OverheadPreset.USER_LEVEL
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        return self.user_bandwidth_bits / 8
+
+    @property
+    def switch_latency_cycles(self) -> int:
+        return units.seconds_to_cycles(self.switch_latency_s, self.clock_hz)
+
+    def overhead(self) -> SoftwareOverhead:
+        return self.overhead_preset.build()
+
+    def kernel_level(self) -> "DecAtmParams":
+        """The in-kernel TreadMarks variant of §2.4.4."""
+        return replace(self, overhead_preset=OverheadPreset.KERNEL_LEVEL)
+
+
+@dataclass(frozen=True)
+class SgiParams:
+    """SGI 4D/480: 8 CPUs, 1 MB write-back L2s, 64-bit snooping bus."""
+
+    clock_hz: float = 40e6
+    page_bytes: int = 4096
+    line_bytes: int = 128
+    l2_bytes: int = 1 * units.MIB
+    #: The 4D/480's L2 is clocked at bus speed (16 MHz), so even an L2
+    #: *hit* streams at ~0.4 CPU cycles/byte — about the speed of the
+    #: DECstation's main memory (§2.2).  Misses additionally occupy
+    #: the shared bus, which is where contention appears.
+    l2_hit_cycles: float = 50.0
+    memory_extra_cycles: int = 12    # memory service while bus held
+    bus: BusTiming = field(default_factory=lambda: BusTiming(
+        width_bytes=8, bus_hz=16e6, cpu_hz=40e6,
+        arbitration_bus_cycles=2, address_bus_cycles=2))
+    lock_acquire_cycles: int = 40
+    lock_release_cycles: int = 20
+    lock_handoff_cycles: int = 60
+    barrier_arrive_cycles: int = 40
+    barrier_depart_cycles: int = 40
+    max_procs: int = 8
+
+
+@dataclass(frozen=True)
+class SimCpuParams:
+    """The leading-edge CPU/cache of the §3 simulations."""
+
+    clock_hz: float = 100e6
+    cache_bytes: int = 64 * units.KIB
+    line_bytes: int = 64
+    hit_cycles: float = 0.25
+
+
+@dataclass(frozen=True)
+class AsParams:
+    """All-software: uniprocessor nodes + ATM + TreadMarks (§3.1)."""
+
+    cpu: SimCpuParams = field(default_factory=SimCpuParams)
+    page_bytes: int = 4096
+    local_miss_cycles: int = 20
+    network_bandwidth_bits: float = 155e6
+    network_latency_s: float = 1e-6
+    header_bytes: int = 40
+    overhead_preset: OverheadPreset = OverheadPreset.SIM_BASE
+
+    @property
+    def clock_hz(self) -> float:
+        return self.cpu.clock_hz
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        return self.network_bandwidth_bits / 8
+
+    @property
+    def network_latency_cycles(self) -> int:
+        return units.seconds_to_cycles(self.network_latency_s, self.clock_hz)
+
+    def overhead(self) -> SoftwareOverhead:
+        return self.overhead_preset.build()
+
+    def with_overhead(self, preset: OverheadPreset) -> "AsParams":
+        """The Figure 14-16 software-overhead sweep points."""
+        return replace(self, overhead_preset=preset)
+
+
+@dataclass(frozen=True)
+class AhParams:
+    """All-hardware: crossbar + directory protocol (§3.1)."""
+
+    cpu: SimCpuParams = field(default_factory=SimCpuParams)
+    page_bytes: int = 4096
+    local_miss_cycles: int = 20
+    remote_clean_cycles: int = 90    # DASH/FLASH-class 2-hop miss
+    remote_dirty_cycles: int = 130   # 3-hop dirty miss
+    crossbar_bandwidth_bytes: float = 200e6   # Paragon-like links
+    crossbar_latency_s: float = 0.1e-6
+    lock_acquire_cycles: int = 120
+    lock_release_cycles: int = 40
+    lock_handoff_cycles: int = 140
+    barrier_arrive_cycles: int = 100
+    barrier_depart_cycles: int = 90
+
+    @property
+    def clock_hz(self) -> float:
+        return self.cpu.clock_hz
+
+    @property
+    def crossbar_latency_cycles(self) -> int:
+        return units.seconds_to_cycles(self.crossbar_latency_s,
+                                       self.clock_hz)
+
+
+@dataclass(frozen=True)
+class HsParams:
+    """Hardware-software: SMP nodes + TreadMarks between nodes (§3.1)."""
+
+    cpu: SimCpuParams = field(default_factory=SimCpuParams)
+    page_bytes: int = 4096
+    procs_per_node: int = 8
+    #: Split-transaction node bus with "sufficient bus bandwidth to
+    #: avoid contention" (§3.1); with the 20-cycle memory service this
+    #: makes local misses ~25 cycles, slightly above AS/AH's 20
+    #: ("slightly longer ... because of bus overhead").
+    node_bus: BusTiming = field(default_factory=lambda: BusTiming(
+        width_bytes=16, bus_hz=200e6, cpu_hz=100e6,
+        arbitration_bus_cycles=1, address_bus_cycles=1))
+    node_memory_extra_cycles: int = 20
+    network_bandwidth_bits: float = 155e6
+    network_latency_s: float = 1e-6
+    header_bytes: int = 40
+    overhead_preset: OverheadPreset = OverheadPreset.SIM_BASE
+    intra_barrier_cycles: int = 30
+    lock_acquire_cycles: int = 30    # intra-node handoffs
+    lock_release_cycles: int = 20
+    lock_handoff_cycles: int = 40
+
+    @property
+    def clock_hz(self) -> float:
+        return self.cpu.clock_hz
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        return self.network_bandwidth_bits / 8
+
+    @property
+    def network_latency_cycles(self) -> int:
+        return units.seconds_to_cycles(self.network_latency_s, self.clock_hz)
+
+    def overhead(self) -> SoftwareOverhead:
+        return self.overhead_preset.build()
+
+    def with_overhead(self, preset: OverheadPreset) -> "HsParams":
+        return replace(self, overhead_preset=preset)

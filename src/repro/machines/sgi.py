@@ -1,0 +1,110 @@
+"""The SGI 4D/480 bus-based snooping multiprocessor (§2.2).
+
+Eight 40 MHz processors, each with a 1 MB write-back second-level
+cache, kept coherent with the Illinois protocol over a 64-bit shared
+bus.  Synchronization is ordinary shared-memory (test-and-set locks,
+counter barriers) whose transactions serialize through the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsm.bound import BoundMode
+from repro.hw.snoop import SnoopingSystem
+from repro.hw.sync import HwBarrier, HwLockTable
+from repro.machines.base import Machine, Runtime
+from repro.machines.params import SgiParams
+from repro.mem.directcache import DirectMappedCache
+from repro.mem.layout import AddressSpace, Geometry
+from repro.net.bus import BusModel
+from repro.sim.engine import Engine
+from repro.sim.task import ProcTask
+from repro.stats.counters import Counters
+
+
+class SnoopRuntime(Runtime):
+    """Operation dispatch for bus-based snooping machines."""
+
+    def __init__(self, engine: Engine, space: AddressSpace,
+                 counters: Counters, nprocs: int, *,
+                 snoop: SnoopingSystem, locks: HwLockTable,
+                 barrier: HwBarrier) -> None:
+        super().__init__(engine, space, counters, nprocs,
+                         bound_mode=BoundMode.HARDWARE)
+        self.snoop = snoop
+        self.locks = locks
+        self.barrier = barrier
+
+    def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
+        first, last = self.space.geometry.line_span(addr, nbytes)
+        end = self.snoop.read(task.proc_id, first, last, self.engine.now)
+        task.resume(end)
+
+    def do_write(self, task: ProcTask, addr: int, nbytes: int,
+                 changed_bytes: int) -> None:
+        # Hardware moves whole lines regardless of how many bytes
+        # actually changed — the §2.4.2 SOR asymmetry.
+        first, last = self.space.geometry.line_span(addr, nbytes)
+        end = self.snoop.write(task.proc_id, first, last, self.engine.now)
+        task.resume(end)
+
+    def do_acquire(self, task: ProcTask, lock: int) -> None:
+        self.counters.lock_acquires += 1
+        self.locks.acquire(lock, task.proc_id, task.resume)
+
+    def do_release(self, task: ProcTask, lock: int) -> None:
+        self.locks.release(lock, task.proc_id, task.resume)
+
+    def do_barrier(self, task: ProcTask, barrier_id: int) -> None:
+        self.barrier.arrive(barrier_id, task.proc_id, task.resume)
+
+    def finish_run(self) -> None:
+        self.counters.barriers = self.barrier.completed
+
+
+class SgiMachine(Machine):
+    """The SGI 4D/480."""
+
+    def __init__(self, params: Optional[SgiParams] = None) -> None:
+        super().__init__()
+        self.params = params or SgiParams()
+        self.name = "sgi"
+
+    @property
+    def clock_hz(self) -> float:
+        return self.params.clock_hz
+
+    def geometry(self) -> Geometry:
+        return Geometry(self.params.page_bytes, self.params.line_bytes)
+
+    def max_procs(self) -> int:
+        return self.params.max_procs
+
+    def build_runtime(self, engine: Engine, space: AddressSpace,
+                      counters: Counters, nprocs: int) -> SnoopRuntime:
+        p = self.params
+        caches = [DirectMappedCache(p.l2_bytes, p.line_bytes, name=f"l2.{i}")
+                  for i in range(nprocs)]
+        bus = BusModel("sgi.bus", p.bus, counters)
+        snoop = SnoopingSystem(
+            caches, bus, counters,
+            line_bytes=p.line_bytes,
+            hit_cycles=p.l2_hit_cycles,
+            memory_extra_cycles=p.memory_extra_cycles,
+        )
+        locks = HwLockTable(
+            engine,
+            acquire_cycles=p.lock_acquire_cycles,
+            release_cycles=p.lock_release_cycles,
+            handoff_cycles=p.lock_handoff_cycles,
+            serializer=bus.resource,
+        )
+        barrier = HwBarrier(
+            engine, nprocs,
+            arrive_cycles=p.barrier_arrive_cycles,
+            depart_cycles=p.barrier_depart_cycles,
+            serializer=bus.resource,
+        )
+        return SnoopRuntime(engine, space, counters, nprocs,
+                            snoop=snoop, locks=locks, barrier=barrier)

@@ -1,0 +1,24 @@
+"""Memory-system substrate shared by software and hardware models.
+
+* :mod:`repro.mem.layout` — regions, the shared address space, and
+  page/cache-line geometry arithmetic.
+* :mod:`repro.mem.store` — the numpy-backed store application data
+  actually lives in (one store per simulated machine, so applications
+  compute real results regardless of the coherence model).
+* :mod:`repro.mem.directcache` — a vectorized direct-mapped cache model
+  (tags + MESI-style states) supporting bulk range operations, used by
+  both the snooping and the directory hardware protocols.
+"""
+
+from repro.mem.directcache import AccessResult, DirectMappedCache
+from repro.mem.layout import AddressSpace, Geometry, Region
+from repro.mem.store import SharedStore
+
+__all__ = [
+    "AddressSpace",
+    "Geometry",
+    "Region",
+    "SharedStore",
+    "DirectMappedCache",
+    "AccessResult",
+]

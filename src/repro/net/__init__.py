@@ -1,0 +1,14 @@
+"""Interconnect substrate: software overheads, LAN/crossbar/bus models."""
+
+from repro.net.atm import AtmNetwork
+from repro.net.bus import BusModel
+from repro.net.crossbar import CrossbarNetwork
+from repro.net.overhead import OverheadPreset, SoftwareOverhead
+
+__all__ = [
+    "SoftwareOverhead",
+    "OverheadPreset",
+    "AtmNetwork",
+    "CrossbarNetwork",
+    "BusModel",
+]

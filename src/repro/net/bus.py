@@ -1,0 +1,75 @@
+"""Shared-bus model for snooping multiprocessors.
+
+Used both for the SGI 4D/480's 64-bit shared backplane (§2.2) and for
+the bus inside each HS node (§3.1).  A bus transaction occupies the bus
+for arbitration plus data beats; the bus runs at its own clock, so
+occupancy is converted into CPU cycles.  Contention emerges naturally
+from the FCFS :class:`~repro.sim.resource.Resource` underneath — this
+is the mechanism behind SOR's bandwidth-bound behaviour on the SGI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.resource import Resource
+from repro.stats.counters import Counters
+
+
+@dataclass(frozen=True)
+class BusTiming:
+    """Static bus parameters."""
+
+    width_bytes: int = 8          # 64-bit bus
+    bus_hz: float = 16_000_000.0  # backplane clock
+    cpu_hz: float = 40_000_000.0  # processor clock (for conversion)
+    arbitration_bus_cycles: int = 2
+    address_bus_cycles: int = 2
+
+    @property
+    def cpu_cycles_per_bus_cycle(self) -> float:
+        return self.cpu_hz / self.bus_hz
+
+    def transaction_cycles(self, data_bytes: int) -> int:
+        """CPU cycles of bus occupancy for one transaction."""
+        beats = (data_bytes + self.width_bytes - 1) // self.width_bytes
+        bus_cycles = (self.arbitration_bus_cycles +
+                      self.address_bus_cycles + beats)
+        return max(1, int(round(bus_cycles * self.cpu_cycles_per_bus_cycle)))
+
+
+class BusModel:
+    """A snooping bus: FCFS resource + transaction accounting."""
+
+    def __init__(self, name: str, timing: BusTiming,
+                 counters: Counters) -> None:
+        self.name = name
+        self.timing = timing
+        self.counters = counters
+        self.resource = Resource(name)
+
+    def transaction(self, now: int, data_bytes: int) -> int:
+        """Issue one bus transaction at ``now``; returns finish time."""
+        occupancy = self.timing.transaction_cycles(data_bytes)
+        _start, end = self.resource.acquire(now, occupancy)
+        self.counters.bus_transactions += 1
+        self.counters.bus_data_bytes += data_bytes
+        return end
+
+    def transactions(self, now: int, count: int, data_bytes_each: int) -> int:
+        """Issue ``count`` back-to-back transactions; returns finish time.
+
+        Bulk path for line-grain coherence traffic: the bus is held for
+        the aggregate occupancy, which is equivalent to issuing the
+        transactions consecutively under FCFS.
+        """
+        if count <= 0:
+            return now
+        occupancy = self.timing.transaction_cycles(data_bytes_each) * count
+        _start, end = self.resource.acquire(now, occupancy)
+        self.counters.bus_transactions += count
+        self.counters.bus_data_bytes += data_bytes_each * count
+        return end
+
+    def utilization(self, horizon: int) -> float:
+        return self.resource.utilization(horizon)

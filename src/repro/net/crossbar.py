@@ -1,0 +1,51 @@
+"""Crossbar interconnect for the all-hardware (AH) architecture.
+
+The paper uses a crossbar "to minimize the effect of network contention
+on our results" (§3.1), with Paragon-class point-to-point bandwidth and
+sub-microsecond latency.  Transfers occupy the source's output port and
+the destination's input port; there is no software overhead — the
+directory controller initiates transfers in hardware.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+from repro.stats.counters import Counters
+
+
+class CrossbarNetwork:
+    """Hardware point-to-point network with per-port contention."""
+
+    def __init__(self, engine: Engine, num_nodes: int, *,
+                 bandwidth_bytes_per_sec: float,
+                 latency_cycles: int,
+                 clock_hz: float,
+                 counters: Counters) -> None:
+        self.engine = engine
+        self.num_nodes = num_nodes
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.latency = latency_cycles
+        self.clock_hz = clock_hz
+        self.counters = counters
+        self.out_ports = [Resource(f"xbar.out[{i}]")
+                          for i in range(num_nodes)]
+        self.in_ports = [Resource(f"xbar.in[{i}]") for i in range(num_nodes)]
+
+    def wire_cycles(self, nbytes: int) -> int:
+        return units.transfer_cycles(nbytes, self.bandwidth, self.clock_hz)
+
+    def transfer(self, src: int, dst: int, nbytes: int, now: int) -> int:
+        """Move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns the arrival time.  Same-node transfers are free.
+        """
+        self.counters.network_hops += 1
+        if src == dst:
+            return now
+        wire = self.wire_cycles(nbytes)
+        _ostart, out_done = self.out_ports[src].acquire(now, wire)
+        at_dst = out_done + self.latency
+        _istart, arrival = self.in_ports[dst].acquire(at_dst, wire)
+        return arrival

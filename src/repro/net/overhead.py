@@ -1,0 +1,138 @@
+"""Software messaging-overhead model.
+
+The paper charges, per message, a fixed cost of entering the kernel to
+send or receive plus a per-word data-copy cost; page faults and
+incoming messages additionally dispatch to a user-level handler; and
+creating a diff costs a per-word scan of the page (§3.1).  Figures
+14-16 study reducing the fixed cost (Peregrine-style optimized kernel
+path, SHRIMP-style user-level DMA interface) and the per-word cost
+(single bcopy to the interface).
+
+All costs are in processor cycles of the machine being simulated, so
+the same preset names mean different absolute times on a 40 MHz
+DECstation and a 100 MHz leading-edge CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class SoftwareOverhead:
+    """Per-message and per-fault CPU costs, in processor cycles."""
+
+    fixed_send_cycles: int = 2000
+    fixed_recv_cycles: int = 2000
+    per_word_cycles: int = 4
+    handler_dispatch_cycles: int = 1000
+    fault_trap_cycles: int = 400
+    twin_per_word_cycles: int = 1
+    diff_fixed_cycles: int = 1024
+    diff_per_word_cycles: int = 2
+    diff_apply_per_word_cycles: int = 1
+
+    def send_cost(self, payload_bytes: int) -> int:
+        """CPU cycles the sender spends to launch a message."""
+        words = units.bytes_to_words(payload_bytes)
+        return self.fixed_send_cycles + words * self.per_word_cycles
+
+    def recv_cost(self, payload_bytes: int) -> int:
+        """CPU cycles the receiver spends to accept and dispatch."""
+        words = units.bytes_to_words(payload_bytes)
+        return (self.fixed_recv_cycles + self.handler_dispatch_cycles +
+                words * self.per_word_cycles)
+
+    def twin_cost(self, page_bytes: int) -> int:
+        """Copy cost of twinning a page on first write."""
+        return units.bytes_to_words(page_bytes) * self.twin_per_word_cycles
+
+    def diff_create_cost(self, page_bytes: int) -> int:
+        """Cost of scanning a page against its twin to build a diff."""
+        return (self.diff_fixed_cycles +
+                units.bytes_to_words(page_bytes) * self.diff_per_word_cycles)
+
+    def diff_apply_cost(self, diff_bytes: int) -> int:
+        """Cost of patching a page copy with a received diff."""
+        return (units.bytes_to_words(diff_bytes) *
+                self.diff_apply_per_word_cycles)
+
+    def fault_cost(self) -> int:
+        """Trap + dispatch cost of a page-protection fault."""
+        return self.fault_trap_cycles + self.handler_dispatch_cycles
+
+    # -- derived variants ---------------------------------------------
+    def with_fixed(self, fixed_cycles: int) -> "SoftwareOverhead":
+        """Same model with a different fixed send/receive cost."""
+        return replace(self, fixed_send_cycles=fixed_cycles,
+                       fixed_recv_cycles=fixed_cycles)
+
+    def with_per_word(self, per_word_cycles: int) -> "SoftwareOverhead":
+        """Same model with a different per-word copy cost."""
+        return replace(self, per_word_cycles=per_word_cycles)
+
+    def scaled(self, factor: float) -> "SoftwareOverhead":
+        """Uniformly scale all fixed costs (used for kernel-level)."""
+        return replace(
+            self,
+            fixed_send_cycles=int(self.fixed_send_cycles * factor),
+            fixed_recv_cycles=int(self.fixed_recv_cycles * factor),
+            handler_dispatch_cycles=int(
+                self.handler_dispatch_cycles * factor),
+        )
+
+
+class OverheadPreset(Enum):
+    """Named overhead configurations used across the experiments."""
+
+    USER_LEVEL = "user_level"       # TreadMarks as measured (baseline)
+    KERNEL_LEVEL = "kernel_level"   # in-kernel TreadMarks (§2.4.4)
+    SIM_BASE = "sim_base"           # §3 baseline simulation overheads
+    PEREGRINE = "peregrine"         # reduced fixed cost (§3.2.4)
+    SHRIMP = "shrimp"               # near-zero fixed cost (§3.2.4)
+    SHRIMP_BCOPY = "shrimp_bcopy"   # near-zero fixed + 1-cycle/word copy
+
+    def build(self) -> SoftwareOverhead:
+        return _PRESETS[self]
+
+
+# The DECstation measurements in §2.2 are the anchor for USER_LEVEL;
+# kernel-level TreadMarks roughly halved lock/barrier times (§2.4.4).
+_USER = SoftwareOverhead(
+    fixed_send_cycles=3500,
+    fixed_recv_cycles=4500,
+    per_word_cycles=4,
+    handler_dispatch_cycles=1200,
+)
+_KERNEL = SoftwareOverhead(
+    fixed_send_cycles=1400,
+    fixed_recv_cycles=1800,
+    per_word_cycles=4,
+    handler_dispatch_cycles=500,
+)
+_SIM_BASE = SoftwareOverhead(
+    fixed_send_cycles=2000,
+    fixed_recv_cycles=2000,
+    per_word_cycles=4,
+    handler_dispatch_cycles=1000,
+)
+
+_PRESETS = {
+    OverheadPreset.USER_LEVEL: _USER,
+    OverheadPreset.KERNEL_LEVEL: _KERNEL,
+    OverheadPreset.SIM_BASE: _SIM_BASE,
+    OverheadPreset.PEREGRINE: _SIM_BASE.with_fixed(500),
+    OverheadPreset.SHRIMP: _SIM_BASE.with_fixed(100),
+    OverheadPreset.SHRIMP_BCOPY: _SIM_BASE.with_fixed(100).with_per_word(1),
+}
+
+#: The four overhead series plotted in Figures 14-16.
+OVERHEAD_SWEEP = (
+    OverheadPreset.SIM_BASE,
+    OverheadPreset.PEREGRINE,
+    OverheadPreset.SHRIMP,
+    OverheadPreset.SHRIMP_BCOPY,
+)

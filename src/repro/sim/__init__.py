@@ -1,0 +1,23 @@
+"""Discrete-event, execution-driven simulation engine.
+
+The engine interleaves *tasks* (one Python generator per simulated
+processor) in simulated time.  Tasks yield operation objects; a machine
+model consumes each operation and decides when — in simulated cycles —
+the task resumes, and with what value.
+
+Public classes:
+
+* :class:`~repro.sim.engine.Engine` — the event loop and clock.
+* :class:`~repro.sim.task.ProcTask` — a simulated processor running a
+  generator program.
+* :class:`~repro.sim.task.OpHandler` — interface a machine model
+  implements to service operations.
+* :class:`~repro.sim.resource.Resource` — a busy-until, FCFS contended
+  resource (bus, link, handler CPU, ...).
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+from repro.sim.task import OpHandler, ProcTask
+
+__all__ = ["Engine", "Resource", "ProcTask", "OpHandler"]

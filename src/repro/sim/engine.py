@@ -1,0 +1,103 @@
+"""The discrete-event engine: a clock plus an ordered callback queue.
+
+The engine is deliberately small.  All protocol behaviour lives in the
+machine models; the engine only guarantees that callbacks run in
+non-decreasing time order, with FIFO ordering among callbacks scheduled
+for the same instant (ties are broken by a monotone sequence number so
+runs are deterministic).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+
+Callback = Callable[..., None]
+
+
+class Engine:
+    """Event loop with an integer cycle clock.
+
+    Typical use::
+
+        engine = Engine()
+        tasks = [ProcTask(engine, p, gen, handler) for p, gen in ...]
+        for task in tasks:
+            task.start()
+        engine.run()
+        print(engine.now)
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Callback, tuple]] = []
+        self._seq: int = 0
+        self._tasks: List[Any] = []
+        self._running = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callback, *args: Any) -> None:
+        """Run ``fn(*args)`` ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self.schedule_at(self.now + int(delay), fn, *args)
+
+    def schedule_at(self, time: float, fn: Callback, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
+        time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # task registry (for deadlock detection)
+    # ------------------------------------------------------------------
+    def register_task(self, task: Any) -> None:
+        """Record a task so :meth:`run` can detect deadlock at drain."""
+        self._tasks.append(task)
+
+    @property
+    def tasks(self) -> List[Any]:
+        return list(self._tasks)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events until the queue drains (or ``until`` cycles).
+
+        Returns the final simulated time.  Raises
+        :class:`~repro.errors.DeadlockError` if the queue drains while
+        registered tasks remain unfinished.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                time, _seq, fn, args = self._heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                self.now = time
+                self.events_processed += 1
+                fn(*args)
+        finally:
+            self._running = False
+
+        blocked = [t for t in self._tasks if not t.finished]
+        if blocked and until is None:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def empty(self) -> bool:
+        """True when no events remain queued."""
+        return not self._heap

@@ -1,0 +1,84 @@
+"""Simulated processors as generator-driven tasks.
+
+A :class:`ProcTask` wraps an application generator.  Each value the
+generator yields is an *operation* (see :mod:`repro.apps.ops`).  The
+task hands the operation to an :class:`OpHandler` (the machine model),
+which later calls :meth:`ProcTask.resume` with the completion time and
+the operation's result value.  The result is sent back into the
+generator, so applications can react to simulated outcomes (e.g. the
+currently-visible TSP bound).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class OpHandler:
+    """Interface machine models implement to service yielded operations.
+
+    ``handle`` must arrange — immediately or via engine events — for
+    ``task.resume(at, value)`` to be called exactly once.
+    """
+
+    def handle(self, task: "ProcTask", op: Any) -> None:
+        raise NotImplementedError
+
+
+class ProcTask:
+    """One simulated processor executing a generator program."""
+
+    def __init__(self, engine: Engine, proc_id: int,
+                 gen: Generator[Any, Any, Any], handler: OpHandler) -> None:
+        self.engine = engine
+        self.proc_id = proc_id
+        self.gen = gen
+        self.handler = handler
+        self.finished = False
+        self.finish_time: Optional[int] = None
+        self.start_time: Optional[int] = None
+        self.ops_issued = 0
+        self.busy_cycles = 0
+        self._last_resume = 0
+        self._waiting = False
+        engine.register_task(self)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else (
+            "blocked" if self._waiting else "ready")
+        return f"<ProcTask p{self.proc_id} {state}>"
+
+    # ------------------------------------------------------------------
+    def start(self, at: int = 0) -> None:
+        """Schedule the first step of the task at cycle ``at``."""
+        if self.start_time is not None:
+            raise SimulationError(f"task p{self.proc_id} already started")
+        self.start_time = at
+        self._last_resume = at
+        self.engine.schedule_at(at, self._step, None)
+
+    def resume(self, at: int, value: Any = None) -> None:
+        """Called by the handler when the pending operation completes."""
+        if self.finished:
+            raise SimulationError(f"resume on finished task p{self.proc_id}")
+        if not self._waiting:
+            raise SimulationError(
+                f"resume on task p{self.proc_id} with no pending op")
+        self._waiting = False
+        self.engine.schedule_at(at, self._step, value)
+
+    # ------------------------------------------------------------------
+    def _step(self, value: Any) -> None:
+        self._last_resume = self.engine.now
+        try:
+            op = self.gen.send(value)
+        except StopIteration:
+            self.finished = True
+            self.finish_time = self.engine.now
+            return
+        self.ops_issued += 1
+        self._waiting = True
+        self.handler.handle(self, op)

@@ -1,0 +1,6 @@
+"""Run statistics: counters, categories, and result records."""
+
+from repro.stats.counters import Counters, DataKind, MsgKind
+from repro.stats.result import RunResult, SpeedupSeries
+
+__all__ = ["Counters", "MsgKind", "DataKind", "RunResult", "SpeedupSeries"]

@@ -1,0 +1,151 @@
+"""Counters for every event class the paper reports.
+
+The paper's Table 2 reports barriers/s, remote locks/s, messages/s and
+Kbytes/s; Figures 12-13 split messages into *miss* vs *synchronization*
+messages and data into *miss data*, *consistency data* (write notices,
+vector timestamps, intervals), and *message header* bytes.  The
+categories here mirror that taxonomy exactly, plus hardware-side
+counters for the bus and directory models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class MsgKind(Enum):
+    """Message types exchanged by the software DSM."""
+
+    LOCK_REQUEST = "lock_request"
+    LOCK_FORWARD = "lock_forward"
+    LOCK_GRANT = "lock_grant"
+    BARRIER_ARRIVE = "barrier_arrive"
+    BARRIER_DEPART = "barrier_depart"
+    DIFF_REQUEST = "diff_request"
+    DIFF_RESPONSE = "diff_response"
+    PAGE_REQUEST = "page_request"
+    PAGE_RESPONSE = "page_response"
+    BOUND_UPDATE = "bound_update"
+
+    @property
+    def is_sync(self) -> bool:
+        return self in _SYNC_KINDS
+
+    @property
+    def is_miss(self) -> bool:
+        return not self.is_sync
+
+
+_SYNC_KINDS = {
+    MsgKind.LOCK_REQUEST,
+    MsgKind.LOCK_FORWARD,
+    MsgKind.LOCK_GRANT,
+    MsgKind.BARRIER_ARRIVE,
+    MsgKind.BARRIER_DEPART,
+    MsgKind.BOUND_UPDATE,
+}
+
+
+class DataKind(Enum):
+    """Payload byte categories (Figure 13's taxonomy)."""
+
+    MISS = "miss"                # page contents / diffs
+    CONSISTENCY = "consistency"  # write notices, vector timestamps
+    HEADER = "header"            # per-message protocol headers
+
+
+@dataclass
+class Counters:
+    """Mutable event counters for one simulated run."""
+
+    # -- software DSM traffic ------------------------------------------
+    messages: Dict[MsgKind, int] = field(
+        default_factory=lambda: {k: 0 for k in MsgKind})
+    data_bytes: Dict[DataKind, int] = field(
+        default_factory=lambda: {k: 0 for k in DataKind})
+
+    # -- synchronization ------------------------------------------------
+    barriers: int = 0
+    lock_acquires: int = 0
+    remote_lock_acquires: int = 0
+
+    # -- DSM protocol events ---------------------------------------------
+    page_faults: int = 0
+    remote_page_faults: int = 0
+    twins_created: int = 0
+    diffs_created: int = 0
+    diff_bytes_created: int = 0
+    write_notices_sent: int = 0
+    pages_invalidated: int = 0
+    diffs_merged: int = 0
+
+    # -- hardware coherence ----------------------------------------------
+    bus_transactions: int = 0
+    bus_data_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses_local: int = 0
+    cache_misses_remote: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+    cache_to_cache: int = 0
+    network_hops: int = 0
+
+    # ------------------------------------------------------------------
+    def count_message(self, kind: MsgKind, payload_bytes: int,
+                      data_kind: DataKind, header_bytes: int) -> None:
+        """Record one message and its byte categories."""
+        self.messages[kind] += 1
+        if payload_bytes:
+            self.data_bytes[data_kind] += payload_bytes
+        if header_bytes:
+            self.data_bytes[DataKind.HEADER] += header_bytes
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def sync_messages(self) -> int:
+        return sum(n for k, n in self.messages.items() if k.is_sync)
+
+    @property
+    def miss_messages(self) -> int:
+        return sum(n for k, n in self.messages.items() if k.is_miss)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.data_bytes.values())
+
+    @property
+    def miss_data_bytes(self) -> int:
+        return self.data_bytes[DataKind.MISS]
+
+    @property
+    def consistency_bytes(self) -> int:
+        return self.data_bytes[DataKind.CONSISTENCY]
+
+    @property
+    def header_bytes(self) -> int:
+        return self.data_bytes[DataKind.HEADER]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (for reports and tests)."""
+        out: Dict[str, float] = {
+            f"msg.{k.value}": v for k, v in self.messages.items()}
+        out.update({f"bytes.{k.value}": v for k, v in self.data_bytes.items()})
+        for name in (
+            "barriers", "lock_acquires", "remote_lock_acquires",
+            "page_faults", "remote_page_faults", "twins_created",
+            "diffs_created", "diff_bytes_created", "write_notices_sent",
+            "pages_invalidated", "diffs_merged", "bus_transactions",
+            "bus_data_bytes", "cache_hits", "cache_misses_local",
+            "cache_misses_remote", "invalidations", "writebacks",
+            "cache_to_cache", "network_hops",
+        ):
+            out[name] = getattr(self, name)
+        out["total_messages"] = self.total_messages
+        out["total_bytes"] = self.total_bytes
+        return out

@@ -1,0 +1,97 @@
+"""Run results and derived quantities (speedups, rates)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import units
+from repro.stats.counters import Counters
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one application run on one machine."""
+
+    machine: str
+    app: str
+    nprocs: int
+    cycles: int
+    clock_hz: float
+    counters: Counters
+    app_output: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return units.cycles_to_seconds(self.cycles, self.clock_hz)
+
+    # -- Table 2 style rates ----------------------------------------------
+    def rate(self, count: float) -> float:
+        """Events per second of simulated time."""
+        return units.per_second(count, self.cycles, self.clock_hz)
+
+    @property
+    def barriers_per_sec(self) -> float:
+        return self.rate(self.counters.barriers)
+
+    @property
+    def remote_locks_per_sec(self) -> float:
+        return self.rate(self.counters.remote_lock_acquires)
+
+    @property
+    def messages_per_sec(self) -> float:
+        return self.rate(self.counters.total_messages)
+
+    @property
+    def kbytes_per_sec(self) -> float:
+        return self.rate(self.counters.total_bytes) / 1024.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "machine": self.machine,
+            "app": self.app,
+            "nprocs": self.nprocs,
+            "seconds": self.seconds,
+            "barriers_per_sec": self.barriers_per_sec,
+            "remote_locks_per_sec": self.remote_locks_per_sec,
+            "messages_per_sec": self.messages_per_sec,
+            "kbytes_per_sec": self.kbytes_per_sec,
+        }
+
+
+@dataclass
+class SpeedupSeries:
+    """A speedup curve: one machine, one app, several processor counts."""
+
+    machine: str
+    app: str
+    base_seconds: float
+    points: List[RunResult] = field(default_factory=list)
+
+    def add(self, result: RunResult) -> None:
+        self.points.append(result)
+
+    def speedup(self, result: RunResult) -> float:
+        if result.seconds <= 0:
+            return 0.0
+        return self.base_seconds / result.seconds
+
+    def speedups(self) -> Dict[int, float]:
+        """Mapping nprocs -> speedup relative to the 1-processor base."""
+        return {r.nprocs: self.speedup(r) for r in self.points}
+
+    def at(self, nprocs: int) -> Optional[RunResult]:
+        for r in self.points:
+            if r.nprocs == nprocs:
+                return r
+        return None
+
+    def peak(self) -> tuple:
+        """(nprocs, speedup) of the best point in the series."""
+        best = None
+        for r in self.points:
+            s = self.speedup(r)
+            if best is None or s > best[1]:
+                best = (r.nprocs, s)
+        return best if best else (0, 0.0)

@@ -1,0 +1,131 @@
+"""Shared fixtures: small machines, apps, and engine scaffolding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import ops
+from repro.apps.base import Application
+from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
+                            DecTreadMarksMachine, HybridMachine, SgiMachine)
+from repro.mem.layout import AddressSpace, Geometry
+from repro.mem.store import SharedStore
+from repro.net.atm import AtmNetwork
+from repro.net.overhead import OverheadPreset
+from repro.sim.engine import Engine
+from repro.stats.counters import Counters
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def space():
+    sp = AddressSpace(Geometry(page_bytes=4096, line_bytes=64))
+    sp.alloc("data", 8 * 4096)
+    return sp
+
+
+@pytest.fixture
+def store(space):
+    return SharedStore(space)
+
+
+@pytest.fixture
+def counters():
+    return Counters()
+
+
+@pytest.fixture
+def atm(engine, counters):
+    return AtmNetwork(
+        engine, 4,
+        bandwidth_bytes_per_sec=30e6 / 8,
+        switch_latency_cycles=400,
+        clock_hz=40e6,
+        overhead=OverheadPreset.USER_LEVEL.build(),
+        counters=counters,
+    )
+
+
+ALL_MACHINE_FACTORIES = [
+    DecTreadMarksMachine,
+    SgiMachine,
+    AllSoftwareMachine,
+    AllHardwareMachine,
+    HybridMachine,
+]
+
+
+@pytest.fixture(params=ALL_MACHINE_FACTORIES,
+                ids=lambda f: f.__name__)
+def any_machine(request):
+    return request.param()
+
+
+class PingPongApp(Application):
+    """Two processors alternately write/read one page under barriers."""
+
+    name = "pingpong"
+
+    def __init__(self, rounds: int = 3) -> None:
+        self.rounds = rounds
+
+    def regions(self, nprocs):
+        return {"data": 4096 * max(2, nprocs)}
+
+    def programs(self, ctx):
+        def prog(p):
+            for r in range(self.rounds):
+                peer = (p + 1) % ctx.nprocs
+                yield ops.Read("data", peer * 4096, 256)
+                vals = np.full(32, float(r * 10 + p))
+                changed = ctx.store.write("data", p * 4096, vals)
+                yield ops.Write("data", p * 4096, 256, changed)
+                yield ops.Barrier()
+        return [prog(p) for p in range(ctx.nprocs)]
+
+    def verify(self, ctx):
+        data = ctx.store.view("data", np.float64)
+        return {"sum": float(data.sum())}
+
+
+class LockCounterApp(Application):
+    """All processors increment a shared counter under one lock."""
+
+    name = "lockcounter"
+
+    def __init__(self, increments: int = 5) -> None:
+        self.increments = increments
+
+    def regions(self, nprocs):
+        return {"counter": 4096}
+
+    def programs(self, ctx):
+        def prog(p):
+            view = ctx.store.view("counter", np.int64)
+            for _ in range(self.increments):
+                yield ops.Acquire(0)
+                yield ops.Read("counter", 0, 8)
+                view[0] += 1
+                yield ops.Write("counter", 0, 8)
+                yield ops.Compute(100)
+                yield ops.Release(0)
+        return [prog(p) for p in range(ctx.nprocs)]
+
+    def verify(self, ctx):
+        view = ctx.store.view("counter", np.int64)
+        return {"count": int(view[0])}
+
+
+@pytest.fixture
+def pingpong():
+    return PingPongApp()
+
+
+@pytest.fixture
+def lockcounter():
+    return LockCounterApp()

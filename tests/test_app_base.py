@@ -1,0 +1,67 @@
+"""Application base class helpers and the run context."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import (AppContext, Application, chunk_ranges,
+                             interleaved)
+from repro.errors import ConfigurationError
+from repro.mem.layout import AddressSpace
+from repro.mem.store import SharedStore
+
+
+def test_chunk_ranges_cover_everything():
+    for total in (0, 1, 7, 8, 100):
+        for parts in (1, 3, 8):
+            chunks = chunk_ranges(total, parts)
+            assert len(chunks) == parts
+            flat = [i for c in chunks for i in c]
+            assert flat == list(range(total))
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+
+def test_chunk_ranges_rejects_zero_parts():
+    with pytest.raises(ConfigurationError):
+        chunk_ranges(10, 0)
+
+
+def test_interleaved():
+    assert list(interleaved(10, 3, 0)) == [0, 3, 6, 9]
+    assert list(interleaved(10, 3, 2)) == [2, 5, 8]
+    assert list(interleaved(2, 5, 4)) == []
+
+
+def test_context_rng_streams_deterministic():
+    space = AddressSpace()
+    space.alloc("x", 8)
+    ctx = AppContext(SharedStore(space), 2, seed=99)
+    a = ctx.rng(0).random(4)
+    b = AppContext(SharedStore(space), 2, seed=99).rng(0).random(4)
+    c = ctx.rng(1).random(4)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_application_defaults():
+    class Minimal(Application):
+        def regions(self, nprocs):
+            return {}
+
+        def programs(self, ctx):
+            return []
+
+    app = Minimal()
+    app.check_nprocs(1)
+    with pytest.raises(ConfigurationError):
+        app.check_nprocs(0)
+    assert app.verify(None) == {}
+    assert "Minimal" in repr(app)
+
+
+def test_application_base_abstract_hooks():
+    app = Application()
+    with pytest.raises(NotImplementedError):
+        app.regions(1)
+    with pytest.raises(NotImplementedError):
+        app.programs(None)

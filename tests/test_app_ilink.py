@@ -1,0 +1,69 @@
+"""Synthetic ILINK: presets, load imbalance, determinism."""
+
+import pytest
+
+from repro.apps.base import AppContext
+from repro.apps.ilink import IlinkApp, PRESETS
+from repro.errors import ConfigurationError
+from repro.machines import DecTreadMarksMachine, SgiMachine
+from repro.mem.layout import AddressSpace
+from repro.mem.store import SharedStore
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ConfigurationError):
+        IlinkApp("nonsense")
+
+
+def test_preset_overrides():
+    app = IlinkApp("clp", iterations=3, genarray_kbytes=8)
+    assert app.iterations == 3
+    assert app.genarray_bytes == 8 * 1024
+    assert app.sigma == PRESETS["clp"]["sigma"]
+
+
+def test_results_identical_across_nprocs_and_machines():
+    checks = set()
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        for nprocs in (1, 2, 5):
+            app = IlinkApp("clp", iterations=3, genarray_kbytes=8)
+            r = machine.run(app, nprocs)
+            checks.add(round(r.app_output["checksum"], 12))
+    assert len(checks) == 1
+
+
+def test_weights_deterministic_and_imbalanced():
+    app = IlinkApp("bad", iterations=2)
+    space = AddressSpace()
+    for name, size in app.regions(4).items():
+        space.alloc(name, size)
+    ctx = AppContext(SharedStore(space), 4)
+    w1 = app._weights(ctx, 0)
+    w2 = app._weights(ctx, 0)
+    w3 = app._weights(ctx, 1)
+    assert (w1 == w2).all()
+    assert (w1 != w3).any()
+    assert w1.size == app.units_total
+    # Lognormal sigma=0.75 gives real spread.
+    assert w1.max() / w1.min() > 1.5
+
+
+def test_bad_preset_more_barrier_and_message_traffic():
+    clp = DecTreadMarksMachine().run(IlinkApp("clp", iterations=3), 4)
+    bad = DecTreadMarksMachine().run(IlinkApp("bad", iterations=3), 4)
+    assert bad.barriers_per_sec > clp.barriers_per_sec
+    assert bad.messages_per_sec > clp.messages_per_sec
+
+
+def test_barriers_one_per_iteration():
+    r = DecTreadMarksMachine().run(IlinkApp("clp", iterations=4), 3)
+    assert r.counters.barriers == 4
+
+
+def test_speedup_limited_by_imbalance():
+    """With lognormal unit weights, 8-way speedup stays sublinear."""
+    app = IlinkApp("bad", iterations=4)
+    machine = SgiMachine()
+    t1 = machine.run(app, 1).seconds
+    t8 = machine.run(app, 8).seconds
+    assert 1.5 < t1 / t8 < 7.5

@@ -1,0 +1,91 @@
+"""SOR application: numerics, partitioning, traffic character."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sor import SorApp
+from repro.errors import ConfigurationError
+from repro.machines import DecTreadMarksMachine, SgiMachine
+
+
+def run(app, nprocs, machine=None):
+    return (machine or DecTreadMarksMachine()).run(app, nprocs)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SorApp(rows=1, cols=10)
+    with pytest.raises(ConfigurationError):
+        SorApp(init="bogus")
+
+
+def test_relaxation_converges_toward_boundary_value():
+    app = SorApp(rows=16, cols=16, iterations=40)
+    r = run(app, 2)
+    assert 0 < r.app_output["interior_max"] <= 1.0
+    # After many iterations heat has propagated inward.
+    assert r.app_output["interior_max"] > 0.5
+
+
+def test_result_independent_of_nprocs():
+    checks = []
+    for nprocs in (1, 2, 4):
+        app = SorApp(rows=24, cols=16, iterations=5)
+        checks.append(run(app, nprocs).app_output["checksum"])
+    assert checks[0] == pytest.approx(checks[1])
+    assert checks[0] == pytest.approx(checks[2])
+
+
+def test_result_independent_of_machine():
+    results = []
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        app = SorApp(rows=24, cols=16, iterations=5)
+        results.append(machine.run(app, 4).app_output["checksum"])
+    assert results[0] == pytest.approx(results[1])
+
+
+def test_matches_sequential_reference():
+    """The banded parallel relaxation equals a straightforward one."""
+    rows, cols, iters = 12, 10, 4
+    app = SorApp(rows=rows, cols=cols, iterations=iters)
+    r = run(app, 3)
+
+    grid = np.zeros((rows + 2, cols))
+    grid[0, :] = grid[-1, :] = 1.0
+    grid[:, 0] = grid[:, -1] = 1.0
+    for _ in range(iters):
+        for phase in range(2):
+            new = grid.copy()
+            for i in range(1, rows + 1):
+                start = 1 + ((i + phase) % 2)
+                for j in range(start, cols - 1, 2):
+                    new[i, j] = 0.25 * (grid[i - 1, j] + grid[i + 1, j] +
+                                        grid[i, j - 1] + grid[i, j + 1])
+            grid = new
+    assert r.app_output["checksum"] == pytest.approx(float(grid.sum()))
+
+
+def test_zero_init_moves_less_dsm_data_than_random():
+    quiet = DecTreadMarksMachine().run(
+        SorApp(rows=64, cols=64, iterations=4), 4)
+    noisy = DecTreadMarksMachine().run(
+        SorApp(rows=64, cols=64, iterations=4, init="random"), 4)
+    assert quiet.counters.miss_data_bytes < noisy.counters.miss_data_bytes
+
+
+def test_barrier_count():
+    app = SorApp(rows=32, cols=32, iterations=6)
+    r = run(app, 4)
+    assert r.counters.barriers == 2 * 6  # two phases per iteration
+
+
+def test_more_procs_than_rows():
+    app = SorApp(rows=2, cols=8, iterations=2)
+    r = run(app, 6)   # 4 processors have empty bands
+    assert r.cycles > 0
+    assert r.counters.barriers == 4
+
+
+def test_names():
+    assert SorApp(rows=100, cols=50).name == "sor-100x50"
+    assert "alldirty" in SorApp(init="random").name

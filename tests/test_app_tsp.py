@@ -1,0 +1,83 @@
+"""TSP application: optimality, pruning, bound staleness."""
+
+import math
+
+import pytest
+
+from repro.apps.tsp import TspApp
+from repro.errors import ConfigurationError
+from repro.machines import DecTreadMarksMachine, SgiMachine
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        TspApp(cities=3)
+    with pytest.raises(ConfigurationError):
+        TspApp(cities=8, leaf_cutoff=1)
+
+
+def test_finds_optimum_on_every_machine():
+    lengths = set()
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        for nprocs in (1, 4):
+            app = TspApp(cities=9, leaf_cutoff=6)
+            r = machine.run(app, nprocs)
+            # verify() asserts the parallel tour equals the exact
+            # sequential optimum; collect to check consistency too.
+            lengths.add(round(r.app_output["optimal_length"], 9))
+    assert len(lengths) == 1
+
+
+def test_optimum_matches_bruteforce():
+    import itertools
+    app = TspApp(cities=7, leaf_cutoff=5)
+    dist = app._distances()
+    best = math.inf
+    for perm in itertools.permutations(range(1, 7)):
+        tour = (0,) + perm
+        length = sum(dist[tour[i], tour[(i + 1) % 7]] for i in range(7))
+        best = min(best, length)
+    r = DecTreadMarksMachine().run(app, 2)
+    assert r.app_output["optimal_length"] == pytest.approx(best)
+
+
+def test_lower_bound_admissible():
+    app = TspApp(cities=8)
+    dist = app._distances()
+    min_edge = app._min_edges(dist)
+    _exp, best, tour = app._solve_local(dist, min_edge, (0,), 0.0,
+                                        math.inf)
+    # The root lower bound can never exceed the optimal tour length.
+    assert app._lower_bound(dist, min_edge, (0,), 0.0) <= best + 1e-9
+    assert len(tour) == 8
+
+
+def test_parallel_expansions_at_least_sequential_work():
+    app = TspApp(cities=9, leaf_cutoff=6)
+    r1 = DecTreadMarksMachine().run(app, 1)
+    assert r1.app_output["parallel_expansions"] >= \
+        0.9 * r1.app_output["sequential_expansions"]
+
+
+def test_lock_traffic_present():
+    app = TspApp(cities=9, leaf_cutoff=6)
+    r = DecTreadMarksMachine().run(app, 4)
+    assert r.counters.remote_lock_acquires > 0
+    assert r.counters.barriers == 0     # TSP uses only locks
+
+
+def test_determinism():
+    app = TspApp(cities=9, leaf_cutoff=6)
+    a = DecTreadMarksMachine().run(app, 4)
+    b = DecTreadMarksMachine().run(app, 4)
+    assert a.cycles == b.cycles
+    assert a.app_output["parallel_expansions"] == \
+        b.app_output["parallel_expansions"]
+
+
+def test_distance_matrix_seeded():
+    a = TspApp(cities=8, coord_seed=5)._distances()
+    b = TspApp(cities=8, coord_seed=5)._distances()
+    c = TspApp(cities=8, coord_seed=6)._distances()
+    assert (a == b).all()
+    assert (a != c).any()

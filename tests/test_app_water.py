@@ -1,0 +1,85 @@
+"""Water / M-Water: physics consistency and locking disciplines."""
+
+import pytest
+
+from repro.apps.water import WaterApp
+from repro.errors import ConfigurationError
+from repro.machines import DecTreadMarksMachine, SgiMachine
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        WaterApp(molecules=1)
+    with pytest.raises(ConfigurationError):
+        WaterApp(molecules=8, steps=0)
+
+
+def test_every_pair_counted_once():
+    for n in (6, 7, 8, 9):
+        app = WaterApp(molecules=n)
+        seen = set()
+        for p in range(3):
+            for i, j in app._pairs_of(p, 3):
+                key = (min(i, j), max(i, j))
+                assert key not in seen, f"pair {key} duplicated"
+                seen.add(key)
+        assert len(seen) == n * (n - 1) // 2
+
+
+def test_water_and_mwater_same_physics():
+    """Both locking disciplines compute the same trajectories."""
+    base = DecTreadMarksMachine().run(
+        WaterApp(molecules=12, steps=2), 1)
+    modified = DecTreadMarksMachine().run(
+        WaterApp(molecules=12, steps=2, modified=True), 1)
+    assert base.app_output["pos_checksum"] == pytest.approx(
+        modified.app_output["pos_checksum"], rel=1e-9)
+    assert base.app_output["kinetic"] == pytest.approx(
+        modified.app_output["kinetic"], rel=1e-9)
+
+
+def test_physics_independent_of_nprocs():
+    results = [
+        DecTreadMarksMachine().run(
+            WaterApp(molecules=12, steps=2, modified=True), n)
+        for n in (1, 3)
+    ]
+    # Accumulation order differs, so allow floating-point slack.
+    assert results[0].app_output["pos_checksum"] == pytest.approx(
+        results[1].app_output["pos_checksum"], rel=1e-6)
+
+
+def test_physics_independent_of_machine():
+    a = DecTreadMarksMachine().run(WaterApp(molecules=12, steps=2), 4)
+    b = SgiMachine().run(WaterApp(molecules=12, steps=2), 4)
+    assert a.app_output["pos_checksum"] == pytest.approx(
+        b.app_output["pos_checksum"], rel=1e-6)
+
+
+def test_water_many_more_lock_acquires_than_mwater():
+    water = DecTreadMarksMachine().run(WaterApp(molecules=16, steps=1), 4)
+    mwater = DecTreadMarksMachine().run(
+        WaterApp(molecules=16, steps=1, modified=True), 4)
+    # Water: one acquire per force *update* (two per pair).
+    # M-Water: one per touched molecule per processor.
+    assert water.counters.lock_acquires > \
+        3 * mwater.counters.lock_acquires
+
+
+def test_mwater_faster_than_water_on_dsm():
+    water = DecTreadMarksMachine().run(WaterApp(molecules=16, steps=1), 4)
+    mwater = DecTreadMarksMachine().run(
+        WaterApp(molecules=16, steps=1, modified=True), 4)
+    assert mwater.seconds < water.seconds
+
+
+def test_barriers_two_per_step_plus_init():
+    r = DecTreadMarksMachine().run(
+        WaterApp(molecules=8, steps=3, modified=True), 2)
+    # Two barriers per step plus the parallel-initialization barrier.
+    assert r.counters.barriers == 7
+
+
+def test_names():
+    assert WaterApp(molecules=64).name == "water-64"
+    assert WaterApp(molecules=64, modified=True).name == "m-water-64"

@@ -1,0 +1,114 @@
+"""The centralized barrier manager."""
+
+import pytest
+
+from repro.dsm.barriers import BarrierManager
+from repro.errors import ProtocolError
+from repro.stats.counters import MsgKind
+
+
+def make_barrier(atm, **kwargs):
+    defaults = dict(
+        manager_node=0,
+        arrive_payload=lambda node: 32,
+        depart_payload=lambda node: 48,
+        on_all_arrived=lambda: None,
+        on_depart=lambda node: None,
+        local_cycles=50,
+    )
+    defaults.update(kwargs)
+    return BarrierManager(atm, atm.num_nodes, **defaults)
+
+
+def test_nobody_departs_before_all_arrive(atm, engine):
+    barrier = make_barrier(atm)
+    departed = []
+    for node in (0, 1, 2):
+        barrier.arrive(0, node, lambda t, n=node: departed.append(n))
+    engine.run()
+    assert departed == []          # node 3 never arrived
+    barrier.arrive(0, 3, lambda t: departed.append(3))
+    engine.run()
+    assert sorted(departed) == [0, 1, 2, 3]
+    assert barrier.completed == 1
+
+
+def test_message_counts(atm, engine, counters):
+    barrier = make_barrier(atm)
+    for node in range(4):
+        barrier.arrive(0, node, lambda t: None)
+    engine.run()
+    # 3 non-manager arrivals + 3 departures (manager is local).
+    assert counters.messages[MsgKind.BARRIER_ARRIVE] == 3
+    assert counters.messages[MsgKind.BARRIER_DEPART] == 3
+
+
+def test_double_arrival_rejected(atm, engine):
+    barrier = make_barrier(atm)
+    barrier.arrive(0, 1, lambda t: None)
+    with pytest.raises(ProtocolError):
+        barrier.arrive(0, 1, lambda t: None)
+
+
+def test_hooks_called_in_order(atm, engine):
+    events = []
+    barrier = make_barrier(
+        atm,
+        on_all_arrived=lambda: events.append("merged"),
+        on_depart=lambda node: events.append(("depart", node)),
+    )
+    for node in range(4):
+        barrier.arrive(0, node, lambda t: None)
+    engine.run()
+    assert events[0] == "merged"
+    assert {e for e in events[1:]} == {("depart", n) for n in range(4)}
+
+
+def test_successive_episodes(atm, engine):
+    barrier = make_barrier(atm)
+    log = []
+
+    def make_prog(node):
+        def after_first(_t):
+            log.append(("first", node))
+            barrier.arrive(0, node,
+                           lambda t: log.append(("second", node)))
+        return after_first
+
+    for node in range(4):
+        barrier.arrive(0, node, make_prog(node))
+    engine.run()
+    assert barrier.completed == 2
+    firsts = [e for e in log if e[0] == "first"]
+    seconds = [e for e in log if e[0] == "second"]
+    assert len(firsts) == 4 and len(seconds) == 4
+    # No node's second departure may precede another's first.
+    assert log.index(seconds[0]) > log.index(firsts[-1])
+
+
+def test_distinct_barrier_ids_independent(atm, engine):
+    barrier = make_barrier(atm)
+    departed = []
+    for node in range(4):
+        barrier.arrive(7, node, lambda t, n=node: departed.append(n))
+    engine.run()
+    assert len(departed) == 4
+    assert barrier.completed == 1
+
+
+def test_single_node_barrier_trivial(engine, counters):
+    from repro.net.atm import AtmNetwork
+    from repro.net.overhead import OverheadPreset
+    net = AtmNetwork(engine, 1, bandwidth_bytes_per_sec=1e6,
+                     switch_latency_cycles=1, clock_hz=1e6,
+                     overhead=OverheadPreset.SIM_BASE.build(),
+                     counters=counters)
+    barrier = BarrierManager(
+        net, 1, manager_node=0,
+        arrive_payload=lambda n: 0, depart_payload=lambda n: 0,
+        on_all_arrived=lambda: None, on_depart=lambda n: None)
+    done = []
+    barrier.arrive(0, 0, done.append)
+    engine.run()
+    assert len(done) == 1
+    assert counters.total_messages == 0

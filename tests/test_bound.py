@@ -1,0 +1,96 @@
+"""Bound visibility under hardware, lazy, and eager consistency."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dsm.bound import BoundMode, SharedBound
+
+
+def test_initial_value_visible_everywhere():
+    bound = SharedBound(BoundMode.HARDWARE, 4)
+    assert bound.read(0, 0) == math.inf
+    assert bound.committed_best == math.inf
+
+
+def test_hardware_sees_updates_immediately():
+    bound = SharedBound(BoundMode.HARDWARE, 4)
+    assert bound.update(0, 50.0, now=100) is True
+    assert bound.read(1, 100) == 50.0
+    assert bound.read(1, 99) == math.inf
+
+
+def test_lazy_reader_stuck_at_sync_point():
+    bound = SharedBound(BoundMode.LAZY, 4)
+    bound.on_sync(1, 90)
+    bound.update(0, 50.0, now=100)
+    assert bound.read(1, 200) == math.inf    # synced before the update
+    bound.on_sync(1, 150)
+    assert bound.read(1, 200) == 50.0
+
+
+def test_lazy_writer_sees_own_update():
+    bound = SharedBound(BoundMode.LAZY, 4)
+    bound.update(0, 50.0, now=100)
+    assert bound.read(0, 101) == 50.0        # own best always visible
+
+
+def test_eager_visible_after_push_latency():
+    bound = SharedBound(BoundMode.EAGER, 4, push_latency_cycles=1000)
+    bound.update(0, 50.0, now=100)
+    assert bound.read(1, 1000) == math.inf
+    assert bound.read(1, 1100) == 50.0
+
+
+def test_non_improving_update_ignored():
+    bound = SharedBound(BoundMode.HARDWARE, 2)
+    assert bound.update(0, 50.0, now=10) is True
+    assert bound.update(1, 60.0, now=20) is False
+    assert bound.committed_best == 50.0
+    assert bound.updates == 1
+
+
+def test_staleness():
+    bound = SharedBound(BoundMode.LAZY, 2)
+    bound.update(0, 40.0, now=100)
+    assert bound.staleness(1, 200) == math.inf - 40.0 or \
+        bound.staleness(1, 200) > 0
+    bound.on_sync(1, 150)
+    assert bound.staleness(1, 200) == 0.0
+
+
+update_lists = st.lists(
+    st.tuples(st.integers(0, 3),                    # proc
+              st.floats(1.0, 1000.0),               # value
+              st.integers(0, 10_000)),              # time
+    min_size=1, max_size=20)
+
+
+@settings(max_examples=150, deadline=None)
+@given(update_lists, st.integers(0, 3), st.integers(0, 20_000))
+def test_visible_never_better_than_committed(updates, proc, when):
+    """No reader may see a bound better than the best committed so far,
+    and under any mode the visible bound is a real committed value."""
+    for mode in BoundMode:
+        bound = SharedBound(mode, 4, push_latency_cycles=50)
+        committed = [math.inf]
+        for p, value, t in sorted(updates, key=lambda u: u[2]):
+            bound.update(p, value, now=t)
+            committed.append(min(committed[-1], value))
+        visible = bound.read(proc, when)
+        assert visible >= committed[-1]
+        assert visible == math.inf or visible in {v for _p, v, _t
+                                                  in updates}
+
+
+@settings(max_examples=100, deadline=None)
+@given(update_lists)
+def test_hardware_at_least_as_fresh_as_lazy(updates):
+    hw = SharedBound(BoundMode.HARDWARE, 4)
+    lazy = SharedBound(BoundMode.LAZY, 4)
+    for p, value, t in sorted(updates, key=lambda u: u[2]):
+        hw.update(p, value, now=t)
+        lazy.update(p, value, now=t)
+    horizon = max(t for _p, _v, t in updates) + 1
+    for proc in range(4):
+        assert hw.read(proc, horizon) <= lazy.read(proc, horizon)

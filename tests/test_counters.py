@@ -1,0 +1,51 @@
+"""Counter taxonomy and aggregation."""
+
+from repro.stats.counters import Counters, DataKind, MsgKind
+
+
+def test_sync_vs_miss_partition():
+    kinds = set(MsgKind)
+    sync = {k for k in kinds if k.is_sync}
+    miss = {k for k in kinds if k.is_miss}
+    assert sync | miss == kinds
+    assert not (sync & miss)
+    assert MsgKind.LOCK_GRANT in sync
+    assert MsgKind.BARRIER_DEPART in sync
+    assert MsgKind.DIFF_REQUEST in miss
+    assert MsgKind.PAGE_RESPONSE in miss
+
+
+def test_count_message_splits_bytes():
+    c = Counters()
+    c.count_message(MsgKind.DIFF_RESPONSE, 500, DataKind.MISS, 40)
+    c.count_message(MsgKind.LOCK_GRANT, 100, DataKind.CONSISTENCY, 40)
+    assert c.total_messages == 2
+    assert c.miss_messages == 1
+    assert c.sync_messages == 1
+    assert c.miss_data_bytes == 500
+    assert c.consistency_bytes == 100
+    assert c.header_bytes == 80
+    assert c.total_bytes == 680
+
+
+def test_zero_payload_not_counted():
+    c = Counters()
+    c.count_message(MsgKind.LOCK_REQUEST, 0, DataKind.CONSISTENCY, 0)
+    assert c.total_messages == 1
+    assert c.total_bytes == 0
+
+
+def test_as_dict_roundtrip():
+    c = Counters()
+    c.barriers = 3
+    c.count_message(MsgKind.DIFF_REQUEST, 16, DataKind.CONSISTENCY, 40)
+    d = c.as_dict()
+    assert d["barriers"] == 3
+    assert d["msg.diff_request"] == 1
+    assert d["bytes.header"] == 40
+    assert d["total_messages"] == 1
+
+
+def test_fresh_counters_all_zero():
+    d = Counters().as_dict()
+    assert all(v == 0 for v in d.values())

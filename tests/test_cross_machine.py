@@ -1,0 +1,63 @@
+"""Cross-machine integration: the *values* an application computes
+must not depend on the machine model (for data-race-free programs),
+while the *timing and traffic* must.
+"""
+
+import pytest
+
+from repro.apps import IlinkApp, SorApp, TspApp, WaterApp
+from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
+                            DecTreadMarksMachine, HybridMachine, SgiMachine)
+
+MACHINES = [DecTreadMarksMachine, SgiMachine, AllSoftwareMachine,
+            AllHardwareMachine, HybridMachine]
+
+
+@pytest.mark.parametrize("app_factory,key,tolerance", [
+    (lambda: SorApp(rows=24, cols=16, iterations=4), "checksum", 0),
+    (lambda: IlinkApp("clp", iterations=2, genarray_kbytes=8),
+     "checksum", 0),
+    (lambda: TspApp(cities=8, leaf_cutoff=5), "optimal_length", 0),
+    (lambda: WaterApp(molecules=10, steps=2, modified=True),
+     "pos_checksum", 1e-6),
+])
+def test_identical_results_on_all_machines(app_factory, key, tolerance):
+    values = []
+    for factory in MACHINES:
+        result = factory().run(app_factory(), 4)
+        values.append(result.app_output[key])
+    reference = values[0]
+    for value in values[1:]:
+        if tolerance:
+            assert value == pytest.approx(reference, rel=tolerance)
+        else:
+            assert value == pytest.approx(reference)
+
+
+def test_timing_differs_between_machines():
+    app = SorApp(rows=48, cols=32, iterations=4)
+    seconds = {f.__name__: f().run(app, 4).seconds for f in MACHINES}
+    assert len(set(seconds.values())) >= 3, seconds
+
+
+def test_hardware_machines_silent_on_network():
+    app = SorApp(rows=24, cols=16, iterations=2)
+    for factory in (SgiMachine, AllHardwareMachine):
+        r = factory().run(app, 4)
+        assert r.counters.total_messages == 0
+
+
+def test_software_machines_message_on_sharing():
+    app = SorApp(rows=24, cols=16, iterations=2)
+    for factory in (DecTreadMarksMachine, AllSoftwareMachine):
+        r = factory().run(app, 4)
+        assert r.counters.total_messages > 0
+
+
+def test_treadmarks_single_proc_overhead_nil():
+    """Table 1's key observation: the DSM costs ~nothing at 1 proc."""
+    app = SorApp(rows=48, cols=32, iterations=3)
+    r = DecTreadMarksMachine().run(app, 1)
+    assert r.counters.total_messages == 0
+    assert r.counters.twins_created == 0
+    assert r.counters.diffs_created == 0

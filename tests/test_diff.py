@@ -1,0 +1,134 @@
+"""RLE diffs: encoding, application, merging, sizing — with property
+tests on the encode/apply round trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsm.diff import (DIFF_HEADER_BYTES, RUN_HEADER_BYTES, Diff,
+                            apply_diff, encode_diff, estimate_wire_bytes,
+                            merge_diffs)
+from repro.errors import ProtocolError
+
+PAGE = 256
+
+
+def test_empty_diff_for_identical_pages():
+    page = np.arange(PAGE, dtype=np.uint8)
+    diff = encode_diff(0, page, page.copy())
+    assert diff.is_empty()
+    assert diff.changed_bytes == 0
+    assert diff.wire_bytes() == DIFF_HEADER_BYTES
+
+
+def test_single_run():
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    cur = twin.copy()
+    cur[10:20] = 7
+    diff = encode_diff(0, twin, cur)
+    assert diff.num_runs == 1
+    assert diff.runs[0][0] == 10
+    assert diff.changed_bytes == 10
+    assert diff.wire_bytes() == DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 10
+
+
+def test_multiple_runs():
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    cur = twin.copy()
+    cur[0] = 1
+    cur[100:110] = 2
+    cur[PAGE - 1] = 3
+    diff = encode_diff(0, twin, cur)
+    assert diff.num_runs == 3
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ProtocolError):
+        encode_diff(0, np.zeros(4, np.uint8), np.zeros(5, np.uint8))
+
+
+def test_apply_out_of_bounds_rejected():
+    base = np.zeros(8, dtype=np.uint8)
+    with pytest.raises(ProtocolError):
+        apply_diff(base, Diff(0, [(6, b"abc")]))
+
+
+def test_merge_later_wins():
+    d1 = Diff(0, [(0, b"\x01\x01\x01\x01")])
+    d2 = Diff(0, [(2, b"\x02\x02")])
+    merged = merge_diffs([d1, d2])
+    base = np.zeros(8, dtype=np.uint8)
+    apply_diff(base, merged)
+    assert list(base[:6]) == [1, 1, 2, 2, 0, 0]
+
+
+def test_merge_rejects_mixed_pages_or_empty():
+    with pytest.raises(ProtocolError):
+        merge_diffs([])
+    with pytest.raises(ProtocolError):
+        merge_diffs([Diff(0), Diff(1)])
+
+
+def test_merge_of_empties_is_empty():
+    assert merge_diffs([Diff(3), Diff(3)]).is_empty()
+
+
+def test_estimate_wire_bytes():
+    assert estimate_wire_bytes(0) == DIFF_HEADER_BYTES
+    assert estimate_wire_bytes(100) == \
+        DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 100
+    assert estimate_wire_bytes(100, runs=3) == \
+        DIFF_HEADER_BYTES + 3 * RUN_HEADER_BYTES + 100
+    with pytest.raises(ProtocolError):
+        estimate_wire_bytes(-1)
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+pages = st.binary(min_size=PAGE, max_size=PAGE).map(
+    lambda b: np.frombuffer(b, dtype=np.uint8).copy())
+
+
+@settings(max_examples=150, deadline=None)
+@given(pages, pages)
+def test_encode_apply_roundtrip(twin, current):
+    """twin + diff(twin, current) == current, always."""
+    diff = encode_diff(0, twin, current)
+    patched = twin.copy()
+    apply_diff(patched, diff)
+    assert np.array_equal(patched, current)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pages, pages)
+def test_diff_is_minimal(twin, current):
+    """The diff carries exactly the bytes that differ."""
+    diff = encode_diff(0, twin, current)
+    assert diff.changed_bytes == int(np.count_nonzero(twin != current))
+
+
+@settings(max_examples=100, deadline=None)
+@given(pages, pages, pages)
+def test_merge_equals_sequential_apply(base, mid, final):
+    """Merging two diffs equals applying them in order."""
+    d1 = encode_diff(0, base, mid)
+    d2 = encode_diff(0, mid, final)
+    merged = merge_diffs([d1, d2])
+    via_merge = base.copy()
+    apply_diff(via_merge, merged)
+    via_seq = base.copy()
+    apply_diff(via_seq, d1)
+    apply_diff(via_seq, d2)
+    assert np.array_equal(via_merge, via_seq)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pages, pages)
+def test_runs_are_disjoint_and_sorted(twin, current):
+    diff = encode_diff(0, twin, current)
+    prev_end = -1
+    for offset, data in diff.runs:
+        assert offset > prev_end
+        assert len(data) > 0
+        prev_end = offset + len(data) - 1

@@ -1,0 +1,104 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.task import OpHandler, ProcTask
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(30, seen.append, "c")
+    engine.schedule(10, seen.append, "a")
+    engine.schedule(20, seen.append, "b")
+    engine.run()
+    assert seen == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_ties_broken_fifo():
+    engine = Engine()
+    seen = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(5, seen.append, tag)
+    engine.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_schedule_from_callback():
+    engine = Engine()
+    seen = []
+
+    def outer():
+        seen.append(engine.now)
+        engine.schedule(7, inner)
+
+    def inner():
+        seen.append(engine.now)
+
+    engine.schedule(3, outer)
+    engine.run()
+    assert seen == [3, 10]
+
+
+def test_cannot_schedule_into_past():
+    engine = Engine()
+    engine.now = 100
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(50, lambda: None)
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, seen.append, "early")
+    engine.schedule(100, seen.append, "late")
+    engine.run(until=50)
+    assert seen == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert seen == ["early", "late"]
+
+
+def test_deadlock_detection():
+    engine = Engine()
+
+    class NeverResume(OpHandler):
+        def handle(self, task, op):
+            pass  # drop the op: the task never resumes
+
+    def prog():
+        yield "op"
+
+    task = ProcTask(engine, 0, prog(), NeverResume())
+    task.start()
+    with pytest.raises(DeadlockError) as err:
+        engine.run()
+    assert task in err.value.blocked
+
+
+def test_event_count_tracked():
+    engine = Engine()
+    for _ in range(5):
+        engine.schedule(1, lambda: None)
+    engine.run()
+    assert engine.events_processed == 5
+
+
+def test_run_not_reentrant():
+    engine = Engine()
+    captured = {}
+
+    def reenter():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            captured["error"] = exc
+
+    engine.schedule(1, reenter)
+    engine.run()
+    assert "error" in captured

@@ -1,0 +1,32 @@
+"""EXPERIMENTS.md generation."""
+
+import os
+
+from repro.harness.experiments import REGISTRY
+from repro.harness.experiments_md import PAPER_CLAIMS, build, main
+
+
+def test_claims_cover_registry():
+    assert set(PAPER_CLAIMS) == set(REGISTRY)
+
+
+def test_build_with_results(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "t1.txt").write_text("== t1: demo ==\nrow\n")
+    text = build(str(results))
+    assert "# EXPERIMENTS" in text
+    assert "== t1: demo ==" in text
+    assert "no archived result" in text      # for the missing ones
+    assert "Known deviations" in text
+    for exp_id in REGISTRY:
+        assert f"## {exp_id} —" in text
+
+
+def test_main_writes_file(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    out = tmp_path / "EXP.md"
+    assert main([str(results), str(out)]) == 0
+    assert os.path.exists(out)
+    assert "paper vs. measured" in out.read_text()

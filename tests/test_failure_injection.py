@@ -1,0 +1,135 @@
+"""Failure injection: buggy applications must fail loudly, not hang
+silently or corrupt protocol state."""
+
+import pytest
+
+from repro.apps import ops
+from repro.apps.base import Application
+from repro.errors import AddressError, DeadlockError, ProtocolError
+from repro.machines import DecTreadMarksMachine, SgiMachine
+
+
+class ForgottenRelease(Application):
+    """Processor 0 never releases the lock: everyone else deadlocks."""
+
+    name = "forgotten-release"
+
+    def regions(self, nprocs):
+        return {"x": 4096}
+
+    def programs(self, ctx):
+        def holder():
+            yield ops.Acquire(0)
+            yield ops.Compute(10)
+            # bug: no Release
+
+        def waiter():
+            yield ops.Acquire(0)
+            yield ops.Release(0)
+        return [holder()] + [waiter() for _ in range(ctx.nprocs - 1)]
+
+
+def test_lost_release_detected_as_deadlock():
+    with pytest.raises(DeadlockError) as err:
+        DecTreadMarksMachine().run(ForgottenRelease(), 3)
+    assert len(err.value.blocked) == 2
+
+
+class MissingBarrier(Application):
+    """One processor skips the barrier."""
+
+    name = "missing-barrier"
+
+    def regions(self, nprocs):
+        return {"x": 4096}
+
+    def programs(self, ctx):
+        def good():
+            yield ops.Barrier()
+
+        def bad():
+            yield ops.Compute(5)
+        return [bad()] + [good() for _ in range(ctx.nprocs - 1)]
+
+
+def test_missing_barrier_deadlocks_on_all_machines():
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        with pytest.raises(DeadlockError):
+            machine.run(MissingBarrier(), 3)
+
+
+class DoubleRelease(Application):
+    name = "double-release"
+
+    def regions(self, nprocs):
+        return {"x": 4096}
+
+    def programs(self, ctx):
+        def prog():
+            yield ops.Acquire(0)
+            yield ops.Release(0)
+            yield ops.Release(0)   # bug
+        return [prog() for _ in range(ctx.nprocs)]
+
+
+def test_double_release_raises_protocol_error():
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        with pytest.raises(ProtocolError):
+            machine.run(DoubleRelease(), 1)
+
+
+class ReleaseForeignLock(Application):
+    name = "release-foreign"
+
+    def regions(self, nprocs):
+        return {"x": 4096}
+
+    def programs(self, ctx):
+        def owner():
+            yield ops.Acquire(0)
+            yield ops.Compute(100_000)
+            yield ops.Release(0)
+
+        def thief():
+            yield ops.Compute(10)
+            yield ops.Release(0)   # never acquired it
+        return [owner(), thief()]
+
+
+def test_release_without_acquire_raises():
+    with pytest.raises(ProtocolError):
+        DecTreadMarksMachine().run(ReleaseForeignLock(), 2)
+
+
+class OutOfBounds(Application):
+    name = "oob"
+
+    def regions(self, nprocs):
+        return {"x": 4096}
+
+    def programs(self, ctx):
+        def prog():
+            yield ops.Read("x", 4000, 200)   # crosses region end
+        return [prog() for _ in range(ctx.nprocs)]
+
+
+def test_out_of_bounds_access_raises():
+    with pytest.raises(AddressError):
+        DecTreadMarksMachine().run(OutOfBounds(), 1)
+
+
+class UnknownRegion(Application):
+    name = "unknown-region"
+
+    def regions(self, nprocs):
+        return {"x": 4096}
+
+    def programs(self, ctx):
+        def prog():
+            yield ops.Read("nope", 0, 8)
+        return [prog() for _ in range(ctx.nprocs)]
+
+
+def test_unknown_region_raises():
+    with pytest.raises(AddressError):
+        SgiMachine().run(UnknownRegion(), 1)

@@ -1,0 +1,102 @@
+"""Harness: registry completeness, formatting, workloads, CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import fmt
+from repro.harness.cli import build_parser, main
+from repro.harness.experiments import (REGISTRY, Scale, get_experiment,
+                                       list_experiments, run_experiment)
+from repro.harness.workloads import (EXPERIMENTAL_PROCS, WORKLOADS,
+                                     make_app)
+
+
+def test_registry_covers_every_paper_artifact():
+    expected = (["t1", "t2"] + [f"fig{i}" for i in range(1, 17)] +
+                ["x1", "x2", "x3", "x4", "a1", "a2", "a3"])
+    assert set(REGISTRY) == set(expected)
+    assert [e.exp_id for e in list_experiments()] == expected
+
+
+def test_every_experiment_has_metadata():
+    for exp in REGISTRY.values():
+        assert exp.title
+        assert exp.paper_ref
+        assert exp.shape_note
+        assert callable(exp.run)
+
+
+def test_get_experiment_unknown():
+    with pytest.raises(ConfigurationError):
+        get_experiment("fig99")
+
+
+def test_workload_factories_at_all_scales():
+    for name in WORKLOADS:
+        for scale in Scale:
+            app = make_app(name, scale)
+            assert app.regions(4)
+    with pytest.raises(ConfigurationError):
+        make_app("nope", Scale.TEST)
+
+
+def test_experimental_procs_go_to_eight():
+    assert EXPERIMENTAL_PROCS == (1, 2, 4, 8)
+
+
+def test_format_table_alignment():
+    lines = fmt.format_table(["name", "v"], [["a", 1.5], ["bb", 1234.0]])
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "1,234" in lines[3]
+
+
+def test_format_speedups():
+    lines = fmt.format_speedups({"m1": {1: 1.0, 2: 1.9}}, [1, 2])
+    assert "m1" in lines[2]
+    assert "1.90" in lines[2]
+
+
+def test_format_percent_breakdown():
+    lines = fmt.format_percent_breakdown("total", {"x": 25.0}, 100.0)
+    assert "25.0%" in lines[1].replace(" ", "").replace("(", " (") or \
+        "25.0" in lines[1]
+
+
+def test_run_t1_at_test_scale_structure():
+    report = run_experiment("t1", Scale.TEST)
+    assert report.exp_id == "t1"
+    assert len(report.data) == 8
+    for row in report.data.values():
+        # DSM overhead ~ nil at one processor.
+        assert row["treadmarks"] == pytest.approx(row["dec"])
+    assert report.text().startswith("== t1")
+
+
+def test_run_fig_at_test_scale_structure():
+    report = run_experiment("fig4", Scale.TEST)
+    speedups = report.data["speedups"]
+    assert set(speedups) == {"treadmarks", "sgi"}
+    for series in speedups.values():
+        assert series[1] == pytest.approx(1.0)
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig16" in out and "Table 1" in out
+
+
+def test_cli_run_unknown_id(capsys):
+    assert main(["run", "fig99"]) == 2
+
+
+def test_cli_run_test_scale(capsys):
+    assert main(["run", "x3", "--scale", "test"]) == 0
+    out = capsys.readouterr().out
+    assert "x3" in out
+
+
+def test_cli_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

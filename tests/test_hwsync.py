@@ -1,0 +1,131 @@
+"""Hardware lock and barrier gadgets."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hw.sync import HwBarrier, HwLockTable
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def make_locks(engine, serializer=None):
+    return HwLockTable(engine, acquire_cycles=40, release_cycles=20,
+                       handoff_cycles=60, local_cycles=5,
+                       serializer=serializer)
+
+
+def test_first_acquire_local_cost(engine):
+    locks = make_locks(engine)
+    times = []
+    locks.acquire(0, 0, times.append)
+    engine.run()
+    assert times == [5]
+
+
+def test_reacquire_by_last_owner_cheap(engine):
+    locks = make_locks(engine)
+    times = []
+    locks.acquire(0, 0, lambda t: None)
+    engine.run()
+    locks.release(0, 0, lambda t: None)
+    engine.run()
+    locks.acquire(0, 0, times.append)
+    engine.run()
+    assert times[0] - engine.now <= 0
+    stats = locks.stats()[0]
+    assert stats["acquires"] == 2
+    assert stats["contended"] == 0
+
+
+def test_migration_charges_serializer(engine):
+    bus = Resource("bus")
+    locks = make_locks(engine, serializer=bus)
+    locks.acquire(0, 0, lambda t: None)
+    engine.run()
+    locks.release(0, 0, lambda t: None)
+    engine.run()
+    busy_before = bus.total_busy
+    locks.acquire(0, 1, lambda t: None)   # different proc: migrates
+    engine.run()
+    assert bus.total_busy == busy_before + 40
+
+
+def test_contended_fifo_handoff(engine):
+    locks = make_locks(engine)
+    order = []
+
+    def worker(proc):
+        def granted(t):
+            order.append(proc)
+            engine.schedule(100, locks.release, 0, proc, lambda t2: None)
+        return granted
+
+    for proc in (0, 1, 2):
+        locks.acquire(0, proc, worker(proc))
+    engine.run()
+    assert order == [0, 1, 2]
+    assert locks.stats()[0]["contended"] == 2
+
+
+def test_release_by_wrong_proc_rejected(engine):
+    locks = make_locks(engine)
+    locks.acquire(0, 0, lambda t: None)
+    engine.run()
+    with pytest.raises(ProtocolError):
+        locks.release(0, 1, lambda t: None)
+    with pytest.raises(ProtocolError):
+        locks.release(7, 0, lambda t: None)  # never held
+
+
+def test_barrier_releases_all_at_once(engine):
+    barrier = HwBarrier(engine, 4, arrive_cycles=10, depart_cycles=10)
+    done = []
+    for proc in range(3):
+        barrier.arrive(0, proc, lambda t, p=proc: done.append(p))
+    engine.run()
+    assert done == []
+    barrier.arrive(0, 3, lambda t: done.append(3))
+    engine.run()
+    assert sorted(done) == [0, 1, 2, 3]
+    assert barrier.completed == 1
+
+
+def test_barrier_double_arrival_rejected(engine):
+    barrier = HwBarrier(engine, 2, arrive_cycles=1, depart_cycles=1)
+    barrier.arrive(0, 0, lambda t: None)
+    with pytest.raises(ProtocolError):
+        barrier.arrive(0, 0, lambda t: None)
+
+
+def test_barrier_cost_linear_in_procs(engine):
+    bus = Resource("bus")
+    barrier = HwBarrier(engine, 4, arrive_cycles=10, depart_cycles=10,
+                        serializer=bus)
+    for proc in range(4):
+        barrier.arrive(0, proc, lambda t: None)
+    engine.run()
+    # 4 arrivals + 4 departures serialized through the counter line.
+    assert bus.total_busy == 8 * 10
+
+
+def test_barrier_episodes_reusable(engine):
+    barrier = HwBarrier(engine, 2, arrive_cycles=1, depart_cycles=1)
+    seq = []
+
+    def again(proc):
+        def first(_t):
+            seq.append(("first", proc))
+            barrier.arrive(0, proc,
+                           lambda t: seq.append(("second", proc)))
+        return first
+
+    barrier.arrive(0, 0, again(0))
+    barrier.arrive(0, 1, again(1))
+    engine.run()
+    assert barrier.completed == 2
+    assert len(seq) == 4

@@ -1,0 +1,91 @@
+"""Address space, regions, and page/line geometry."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError
+from repro.mem.layout import AddressSpace, Geometry, Region
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        Geometry(page_bytes=1000)          # not a power of two
+    with pytest.raises(ConfigurationError):
+        Geometry(line_bytes=48)
+    with pytest.raises(ConfigurationError):
+        Geometry(page_bytes=64, line_bytes=128)  # line > page
+
+
+def test_page_span():
+    g = Geometry(4096, 64)
+    assert g.page_span(0, 1) == (0, 1)
+    assert g.page_span(0, 4096) == (0, 1)
+    assert g.page_span(0, 4097) == (0, 2)
+    assert g.page_span(4095, 2) == (0, 2)
+    assert g.page_span(8192, 100) == (2, 3)
+
+
+def test_line_span():
+    g = Geometry(4096, 64)
+    assert g.line_span(0, 64) == (0, 1)
+    assert g.line_span(63, 2) == (0, 2)
+    assert g.line_span(128, 200) == (2, 6)
+
+
+def test_span_rejects_empty():
+    g = Geometry(4096, 64)
+    with pytest.raises(AddressError):
+        g.page_span(0, 0)
+    with pytest.raises(AddressError):
+        g.line_span(0, -5)
+
+
+def test_counts():
+    g = Geometry(4096, 64)
+    assert g.pages_in(1) == 1
+    assert g.pages_in(4096) == 1
+    assert g.pages_in(4097) == 2
+    assert g.lines_in(65) == 2
+    assert g.lines_per_page() == 64
+
+
+def test_alloc_page_aligned_and_disjoint():
+    space = AddressSpace(Geometry(4096, 64))
+    a = space.alloc("a", 100)
+    b = space.alloc("b", 5000)
+    assert a.base == 0 and a.nbytes == 4096
+    assert b.base == 4096 and b.nbytes == 8192
+    assert space.total_bytes == 3 * 4096
+    assert space.total_pages == 3
+    assert space.total_lines == 3 * 64
+
+
+def test_alloc_rejects_duplicates_and_empty():
+    space = AddressSpace()
+    space.alloc("a", 1)
+    with pytest.raises(ConfigurationError):
+        space.alloc("a", 1)
+    with pytest.raises(ConfigurationError):
+        space.alloc("b", 0)
+
+
+def test_region_bounds_checked():
+    region = Region("r", 4096, 4096)
+    assert region.addr(0) == 4096
+    assert region.addr(4095, 1) == 8191
+    with pytest.raises(AddressError):
+        region.addr(4096, 1)
+    with pytest.raises(AddressError):
+        region.addr(-1)
+    with pytest.raises(AddressError):
+        region.addr(4000, 200)
+
+
+def test_space_lookup():
+    space = AddressSpace()
+    space.alloc("x", 10)
+    assert "x" in space
+    assert "y" not in space
+    with pytest.raises(AddressError):
+        space["y"]
+    addr, nbytes = space.span("x", 4, 2)
+    assert (addr, nbytes) == (4, 2)

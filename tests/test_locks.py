@@ -1,0 +1,147 @@
+"""Distributed token locks over the ATM network."""
+
+import pytest
+
+from repro.dsm.locks import DistributedLocks
+from repro.errors import ProtocolError
+from repro.stats.counters import MsgKind
+
+
+def make_locks(atm, **kwargs):
+    defaults = dict(
+        grant_payload=lambda src, dst: 64,
+        on_granted=lambda dst, src: None,
+        request_payload_bytes=16,
+        local_grant_cycles=40,
+    )
+    defaults.update(kwargs)
+    return DistributedLocks(atm, atm.num_nodes, **defaults)
+
+
+def test_manager_assignment_round_robin(atm):
+    locks = make_locks(atm)
+    assert locks.record(0).manager == 0
+    assert locks.record(5).manager == 1
+    assert locks.record(7).manager == 3
+
+
+def test_local_reacquire_free_of_messages(atm, engine, counters):
+    locks = make_locks(atm)
+    grants = []
+    # Lock 2's manager (and initial token holder) is node 2.
+    locks.acquire(2, 2, 0, lambda t, remote: grants.append(remote))
+    engine.run()
+    locks.release(2, 2, 0, lambda t: None)
+    engine.run()
+    locks.acquire(2, 2, 0, lambda t, remote: grants.append(remote))
+    engine.run()
+    assert grants == [False, False]
+    assert counters.total_messages == 0
+    assert counters.remote_lock_acquires == 0
+
+
+def test_remote_acquire_three_messages(atm, engine, counters):
+    locks = make_locks(atm)
+    # Lock 2's manager is node 2 and the token starts there: node 0's
+    # first acquire costs request + grant (2 messages, no forward).
+    done = []
+    locks.acquire(2, 0, 0, lambda t, remote: done.append(("n0", remote)))
+    engine.run()
+    assert counters.messages[MsgKind.LOCK_REQUEST] == 1
+    assert counters.messages[MsgKind.LOCK_FORWARD] == 0
+    assert counters.messages[MsgKind.LOCK_GRANT] == 1
+    assert done == [("n0", True)]
+    locks.release(2, 0, 0, lambda t: None)
+    engine.run()
+
+    # Token now rests at node 0 != manager: node 1's acquire takes the
+    # full three messages (request -> manager, forward -> holder,
+    # grant -> requester).
+    locks.acquire(2, 1, 1, lambda t, remote: done.append(("n1", remote)))
+    engine.run()
+    assert counters.messages[MsgKind.LOCK_REQUEST] == 2
+    assert counters.messages[MsgKind.LOCK_FORWARD] == 1
+    assert counters.messages[MsgKind.LOCK_GRANT] == 2
+    assert done == [("n0", True), ("n1", True)]
+    assert counters.remote_lock_acquires == 2
+
+
+def test_manager_holding_token_two_messages(atm, engine, counters):
+    locks = make_locks(atm)
+    done = []
+    # Lock 0's manager is node 0, token there: node 3 requests.
+    locks.acquire(0, 3, 0, lambda t, remote: done.append(remote))
+    engine.run()
+    assert counters.messages[MsgKind.LOCK_REQUEST] == 1
+    assert counters.messages[MsgKind.LOCK_FORWARD] == 0
+    assert counters.messages[MsgKind.LOCK_GRANT] == 1
+
+
+def test_fifo_handoff_under_contention(atm, engine):
+    locks = make_locks(atm)
+    order = []
+
+    def hold_then_release(node, proc):
+        def granted(time, _remote):
+            order.append(node)
+            engine.schedule(1000, locks.release, 0, node, proc,
+                            lambda t: None)
+        return granted
+
+    for node in (1, 2, 3):
+        locks.acquire(0, node, node, hold_then_release(node, node))
+    engine.run()
+    assert sorted(order) == [1, 2, 3]
+    assert order[0] == 1  # first requester served first
+
+
+def test_release_by_non_holder_rejected(atm, engine):
+    locks = make_locks(atm)
+    locks.acquire(0, 0, 0, lambda t, r: None)
+    engine.run()
+    with pytest.raises(ProtocolError):
+        locks.release(0, 1, 1, lambda t: None)
+    with pytest.raises(ProtocolError):
+        locks.release(0, 0, 9, lambda t: None)  # wrong proc
+
+
+def test_intra_node_handoff_no_messages(atm, engine, counters):
+    """Two procs of the same node exchange the lock without the LAN."""
+    locks = make_locks(atm)
+    order = []
+
+    def granted_a(time, remote):
+        order.append(("a", remote))
+        locks.release(0, 0, 0, lambda t: None)
+
+    def granted_b(time, remote):
+        order.append(("b", remote))
+
+    locks.acquire(0, 0, 0, granted_a)
+    locks.acquire(0, 0, 1, granted_b)   # same node, different proc
+    engine.run()
+    assert order == [("a", False), ("b", False)]
+    assert counters.total_messages == 0
+
+
+def test_grant_payload_and_on_granted_called(atm, engine):
+    calls = []
+    locks = make_locks(
+        atm,
+        grant_payload=lambda src, dst: calls.append(("pay", src, dst))
+        or 64,
+        on_granted=lambda dst, src: calls.append(("got", dst, src)),
+    )
+    locks.acquire(0, 2, 2, lambda t, r: None)
+    engine.run()
+    assert ("pay", 0, 2) in calls
+    assert ("got", 2, 0) in calls
+
+
+def test_holder_of(atm, engine):
+    locks = make_locks(atm)
+    assert locks.holder_of(0) is None
+    locks.acquire(0, 0, 0, lambda t, r: None)
+    engine.run()
+    assert locks.holder_of(0) == 0
+    assert locks.total_grants() == 1

@@ -1,0 +1,58 @@
+"""Software messaging-overhead model and presets."""
+
+from repro.net.overhead import (OVERHEAD_SWEEP, OverheadPreset,
+                                SoftwareOverhead)
+
+
+def test_send_cost_scales_with_words():
+    ov = SoftwareOverhead(fixed_send_cycles=1000, per_word_cycles=4)
+    assert ov.send_cost(0) == 1000
+    assert ov.send_cost(4) == 1004
+    assert ov.send_cost(4096) == 1000 + 1024 * 4
+
+
+def test_recv_includes_handler_dispatch():
+    ov = SoftwareOverhead(fixed_recv_cycles=1000, per_word_cycles=4,
+                          handler_dispatch_cycles=500)
+    assert ov.recv_cost(0) == 1500
+    assert ov.recv_cost(40) == 1500 + 10 * 4
+
+
+def test_page_operation_costs():
+    ov = SoftwareOverhead()
+    assert ov.twin_cost(4096) == 1024 * ov.twin_per_word_cycles
+    assert ov.diff_create_cost(4096) == \
+        ov.diff_fixed_cycles + 1024 * ov.diff_per_word_cycles
+    assert ov.diff_apply_cost(400) == 100 * ov.diff_apply_per_word_cycles
+    assert ov.fault_cost() == \
+        ov.fault_trap_cycles + ov.handler_dispatch_cycles
+
+
+def test_with_fixed_and_per_word():
+    base = OverheadPreset.SIM_BASE.build()
+    low = base.with_fixed(100)
+    assert low.fixed_send_cycles == low.fixed_recv_cycles == 100
+    assert low.per_word_cycles == base.per_word_cycles
+    cheap = base.with_per_word(1)
+    assert cheap.per_word_cycles == 1
+    assert cheap.fixed_send_cycles == base.fixed_send_cycles
+
+
+def test_kernel_cheaper_than_user():
+    user = OverheadPreset.USER_LEVEL.build()
+    kernel = OverheadPreset.KERNEL_LEVEL.build()
+    assert kernel.send_cost(64) < user.send_cost(64)
+    assert kernel.recv_cost(64) < user.recv_cost(64)
+
+
+def test_sweep_strictly_cheaper():
+    costs = [p.build().send_cost(256) for p in OVERHEAD_SWEEP]
+    assert costs == sorted(costs, reverse=True)
+    assert len(set(costs)) == len(costs)
+
+
+def test_scaled():
+    base = OverheadPreset.SIM_BASE.build()
+    half = base.scaled(0.5)
+    assert half.fixed_send_cycles == base.fixed_send_cycles // 2
+    assert half.per_word_cycles == base.per_word_cycles  # not scaled

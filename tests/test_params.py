@@ -1,0 +1,76 @@
+"""Machine parameter presets: internal consistency of the calibration."""
+
+import pytest
+
+from repro.machines.params import (AhParams, AsParams, DecAtmParams,
+                                   HsParams, SgiParams)
+from repro.net.overhead import OverheadPreset
+
+
+def test_dec_atm_defaults_consistent():
+    p = DecAtmParams()
+    assert p.bandwidth_bytes == pytest.approx(p.user_bandwidth_bits / 8)
+    # seconds_to_cycles rounds up, so allow one cycle of slack.
+    exact = p.switch_latency_s * p.clock_hz
+    assert exact <= p.switch_latency_cycles <= exact + 1
+    assert p.overhead().fixed_send_cycles > 0
+
+
+def test_dec_kernel_level_variant():
+    user = DecAtmParams()
+    kernel = user.kernel_level()
+    assert kernel.overhead_preset is OverheadPreset.KERNEL_LEVEL
+    assert kernel.overhead().send_cost(64) < user.overhead().send_cost(64)
+    # frozen dataclass: the original is untouched
+    assert user.overhead_preset is OverheadPreset.USER_LEVEL
+
+
+def test_dec_memory_slightly_faster_than_sgi_l2():
+    """§2.2: DEC main memory beats the SGI's bus-clocked L2 per byte."""
+    dec = DecAtmParams()
+    sgi = SgiParams()
+    dec_per_byte = dec.cache.miss_cycles / dec.cache.line_bytes
+    sgi_per_byte = sgi.l2_hit_cycles / sgi.line_bytes
+    assert dec_per_byte < sgi_per_byte
+
+
+def test_sgi_l2_miss_slower_than_hit():
+    sgi = SgiParams()
+    miss = sgi.bus.transaction_cycles(sgi.line_bytes) + \
+        sgi.memory_extra_cycles
+    assert miss > sgi.l2_hit_cycles
+
+
+def test_as_latency_is_one_microsecond():
+    p = AsParams()
+    assert p.network_latency_cycles == 100  # 1 us at 100 MHz
+
+
+def test_as_overhead_sweep_variants():
+    base = AsParams()
+    cheap = base.with_overhead(OverheadPreset.SHRIMP_BCOPY)
+    assert cheap.overhead().send_cost(256) < base.overhead().send_cost(256)
+
+
+def test_ah_miss_latency_ordering():
+    p = AhParams()
+    assert p.local_miss_cycles < p.remote_clean_cycles < \
+        p.remote_dirty_cycles
+
+
+def test_hs_local_miss_about_25_cycles():
+    """§3.1: HS local misses slightly above AS/AH's 20 cycles."""
+    p = HsParams()
+    per_line = (p.node_bus.transaction_cycles(p.cpu.line_bytes) +
+                p.node_memory_extra_cycles)
+    assert 22 <= per_line <= 30
+    assert per_line > AsParams().local_miss_cycles
+
+
+def test_hs_node_size_default():
+    assert HsParams().procs_per_node == 8
+
+
+def test_all_sim_machines_share_cpu():
+    assert AsParams().clock_hz == AhParams().clock_hz == \
+        HsParams().clock_hz == 100e6

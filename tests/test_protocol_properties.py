@@ -1,0 +1,100 @@
+"""Property-based integration tests of the LRC protocol.
+
+Random barrier-synchronized programs are generated and run end to end
+on the DSM machine; afterwards the protocol's global invariants must
+hold regardless of the script:
+
+* conservation: every request message has exactly one response;
+* causality: after a global barrier, every node's vector clock equals
+  the global maximum and no page is pending anywhere;
+* single-holder: a lock is never granted to two owners at once (the
+  lock-counter app would lose increments otherwise).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import ops
+from repro.apps.base import Application
+from repro.machines import DecTreadMarksMachine
+from repro.stats.counters import MsgKind
+
+PAGES = 6
+PAGE = 4096
+
+
+class ScriptApp(Application):
+    """Barrier-phased random reads/writes over a small region."""
+
+    name = "script"
+
+    def __init__(self, phases):
+        self.phases = phases   # [[(proc_ops)] per proc] per phase
+
+    def regions(self, nprocs):
+        return {"data": PAGES * PAGE}
+
+    def programs(self, ctx):
+        def prog(p):
+            for phase in self.phases:
+                for kind, page, nbytes in phase[p % len(phase)]:
+                    offset = page * PAGE
+                    if kind == "r":
+                        yield ops.Read("data", offset, nbytes)
+                    else:
+                        vals = np.random.default_rng(
+                            (page, nbytes)).integers(
+                            0, 255, nbytes, dtype=np.uint8)
+                        changed = ctx.store.write("data", offset, vals)
+                        yield ops.Write("data", offset, nbytes, changed)
+                yield ops.Barrier()
+        return [prog(p) for p in range(ctx.nprocs)]
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["r", "w"]),
+    st.integers(0, PAGES - 1),
+    st.integers(1, PAGE),
+)
+phase_strategy = st.lists(st.lists(op_strategy, max_size=4),
+                          min_size=1, max_size=4)
+script_strategy = st.lists(phase_strategy, min_size=1, max_size=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(script_strategy, st.integers(2, 6))
+def test_random_scripts_preserve_invariants(phases, nprocs):
+    machine = DecTreadMarksMachine()
+    result = machine.run(ScriptApp(phases), nprocs)
+    counters = result.counters
+
+    # Conservation: requests pair with responses.
+    assert counters.messages[MsgKind.DIFF_REQUEST] == \
+        counters.messages[MsgKind.DIFF_RESPONSE]
+    assert counters.messages[MsgKind.PAGE_REQUEST] == \
+        counters.messages[MsgKind.PAGE_RESPONSE]
+    # Barrier arrivals/departures: (nprocs - 1) each per episode.
+    episodes = counters.barriers
+    assert counters.messages[MsgKind.BARRIER_ARRIVE] == \
+        episodes * (nprocs - 1)
+    assert counters.messages[MsgKind.BARRIER_DEPART] == \
+        episodes * (nprocs - 1)
+
+    dsm = machine.last_runtime.dsm
+    # Causality: the final barrier synchronized everyone.
+    reference = dsm.vcs[0]
+    for node in range(nprocs):
+        assert dsm.vcs[node] == reference
+        assert not dsm.pages[node].has_dirty
+    # Every announced interval is in the log.
+    for node in range(nprocs):
+        assert dsm.log.node_count(node) == reference[node]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 8), st.integers(1, 6))
+def test_lock_counter_never_loses_increments(nprocs, increments):
+    from tests.conftest import LockCounterApp
+    machine = DecTreadMarksMachine()
+    result = machine.run(LockCounterApp(increments), nprocs)
+    assert result.app_output["count"] == nprocs * increments

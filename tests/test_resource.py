@@ -1,0 +1,70 @@
+"""FCFS resources and resource groups."""
+
+import pytest
+
+from repro.sim.resource import Resource, ResourceGroup
+
+
+def test_uncontended_acquire_starts_immediately():
+    r = Resource("bus")
+    start, end = r.acquire(100, 50)
+    assert (start, end) == (100, 150)
+    assert r.total_wait == 0
+
+
+def test_contended_acquire_queues():
+    r = Resource("bus")
+    r.acquire(0, 100)
+    start, end = r.acquire(20, 10)
+    assert (start, end) == (100, 110)
+    assert r.total_wait == 80
+
+
+def test_backward_request_waits_for_busy_until():
+    r = Resource("bus")
+    r.acquire(0, 100)
+    start, _end = r.acquire(0, 1)
+    assert start == 100
+
+
+def test_zero_duration_allowed():
+    r = Resource("bus")
+    start, end = r.acquire(5, 0)
+    assert start == end == 5
+
+
+def test_negative_duration_rejected():
+    r = Resource("bus")
+    with pytest.raises(ValueError):
+        r.acquire(0, -1)
+
+
+def test_utilization_and_mean_wait():
+    r = Resource("bus")
+    r.acquire(0, 50)
+    r.acquire(0, 50)
+    assert r.utilization(200) == pytest.approx(0.5)
+    assert r.utilization(0) == 0.0
+    assert r.mean_wait() == pytest.approx(25.0)
+
+
+def test_mean_wait_empty():
+    assert Resource("bus").mean_wait() == 0.0
+
+
+def test_peek_does_not_reserve():
+    r = Resource("bus")
+    r.acquire(0, 100)
+    assert r.peek(10) == 100
+    assert r.busy_until == 100
+
+
+def test_group_lazily_creates_members():
+    g = ResourceGroup("link")
+    assert len(g) == 0
+    g[3].acquire(0, 10)
+    g[7].acquire(0, 20)
+    assert len(g) == 2
+    assert g.total_busy() == 30
+    assert g.total_acquisitions() == 2
+    assert g[3] is g[3]

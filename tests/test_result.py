@@ -1,0 +1,52 @@
+"""RunResult rates and SpeedupSeries."""
+
+import pytest
+
+from repro.stats.counters import Counters, DataKind, MsgKind
+from repro.stats.result import RunResult, SpeedupSeries
+
+
+def make_result(nprocs=4, cycles=40_000_000, **counter_values):
+    counters = Counters()
+    for name, value in counter_values.items():
+        setattr(counters, name, value)
+    return RunResult("m", "a", nprocs, cycles, 40e6, counters)
+
+
+def test_seconds():
+    assert make_result().seconds == pytest.approx(1.0)
+
+
+def test_rates():
+    r = make_result(barriers=10, remote_lock_acquires=40)
+    r.counters.count_message(MsgKind.DIFF_REQUEST, 1024,
+                             DataKind.MISS, 0)
+    assert r.barriers_per_sec == pytest.approx(10.0)
+    assert r.remote_locks_per_sec == pytest.approx(40.0)
+    assert r.messages_per_sec == pytest.approx(1.0)
+    assert r.kbytes_per_sec == pytest.approx(1.0)
+
+
+def test_summary_keys():
+    s = make_result().summary()
+    for key in ("machine", "app", "nprocs", "seconds",
+                "barriers_per_sec", "messages_per_sec"):
+        assert key in s
+
+
+def test_speedup_series():
+    series = SpeedupSeries("m", "a", base_seconds=8.0)
+    for nprocs, cycles in [(1, 320_000_000), (2, 160_000_000),
+                           (4, 100_000_000)]:
+        series.add(make_result(nprocs=nprocs, cycles=cycles))
+    sp = series.speedups()
+    assert sp[1] == pytest.approx(1.0)
+    assert sp[2] == pytest.approx(2.0)
+    assert sp[4] == pytest.approx(3.2)
+    assert series.peak() == (4, pytest.approx(3.2))
+    assert series.at(2).nprocs == 2
+    assert series.at(16) is None
+
+
+def test_speedup_series_empty_peak():
+    assert SpeedupSeries("m", "a", 1.0).peak() == (0, 0.0)

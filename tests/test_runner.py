@@ -1,0 +1,30 @@
+"""Speedup-curve helpers."""
+
+import pytest
+
+from repro.harness.runner import compare_machines, speedup_series
+from repro.machines import DecTreadMarksMachine, SgiMachine
+
+
+def test_speedup_series_baseline_is_one(pingpong):
+    series = speedup_series(DecTreadMarksMachine(), pingpong, (1, 2, 4))
+    sp = series.speedups()
+    assert sp[1] == pytest.approx(1.0)
+    assert set(sp) == {1, 2, 4}
+
+
+def test_speedup_series_reuses_base_result(pingpong):
+    machine = DecTreadMarksMachine()
+    base = machine.run(pingpong, 1)
+    series = speedup_series(machine, pingpong, (1, 2),
+                            base_result=base)
+    assert series.base_seconds == base.seconds
+    assert series.at(1) is base
+
+
+def test_compare_machines_keys(pingpong):
+    out = compare_machines([DecTreadMarksMachine(), SgiMachine()],
+                           pingpong, (1, 2))
+    assert set(out) == {"treadmarks", "sgi"}
+    for series in out.values():
+        assert series.at(2) is not None

@@ -1,0 +1,113 @@
+"""DsmRuntime details: local cache costs, eager bound mode, naming."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ops
+from repro.apps.base import Application
+from repro.dsm.bound import BoundMode
+from repro.machines import AllSoftwareMachine, DecTreadMarksMachine
+from repro.net.overhead import OverheadPreset
+
+
+class ReadHeavy(Application):
+    """One processor re-reads a block; the second one just barriers."""
+
+    name = "readheavy"
+
+    def __init__(self, repeats=3, nbytes=8192):
+        self.repeats = repeats
+        self.nbytes = nbytes
+
+    def regions(self, nprocs):
+        return {"blob": self.nbytes}
+
+    def programs(self, ctx):
+        def reader():
+            for _ in range(self.repeats):
+                yield ops.Read("blob", 0, self.nbytes)
+
+        def idler():
+            if False:
+                yield  # pragma: no cover
+        progs = [reader()]
+        progs += [idler() for _ in range(ctx.nprocs - 1)]
+        return progs
+
+
+def test_repeated_reads_hit_local_cache():
+    machine = DecTreadMarksMachine()
+    cold = machine.run(ReadHeavy(repeats=1), 1)
+    warm = machine.run(ReadHeavy(repeats=3), 1)
+    # Two extra warm passes cost far less than the cold pass.
+    assert warm.cycles < 2 * cold.cycles
+    assert warm.counters.cache_hits > 0
+
+
+def test_working_set_larger_than_cache_keeps_missing():
+    machine = DecTreadMarksMachine()
+    big = machine.params.cache.cache_bytes * 2
+    r = machine.run(ReadHeavy(repeats=2, nbytes=big), 1)
+    # Both passes miss (the block does not fit): miss count ~ 2 passes.
+    lines = big // machine.params.cache.line_bytes
+    assert r.counters.cache_misses_local >= 2 * lines * 0.9
+
+
+def test_eager_machine_uses_eager_bound_mode(lockcounter):
+    machine = DecTreadMarksMachine(eager_locks="all")
+    machine.run(lockcounter, 2)
+    assert machine.last_runtime.bound.mode is BoundMode.EAGER
+    assert machine.last_runtime.bound.push_latency > 0
+
+
+def test_lazy_machine_uses_lazy_bound_mode(lockcounter):
+    machine = DecTreadMarksMachine()
+    machine.run(lockcounter, 2)
+    assert machine.last_runtime.bound.mode is BoundMode.LAZY
+
+
+def test_as_overhead_preset_in_name():
+    assert AllSoftwareMachine().name == "as"
+    cheap = AllSoftwareMachine(overhead_preset=OverheadPreset.SHRIMP)
+    assert "shrimp" in cheap.name
+
+
+def test_overhead_preset_changes_runtime(lockcounter):
+    base = AllSoftwareMachine().run(lockcounter, 8)
+    cheap = AllSoftwareMachine(
+        overhead_preset=OverheadPreset.SHRIMP_BCOPY).run(lockcounter, 8)
+    assert cheap.seconds < base.seconds
+
+
+class BadOp(Application):
+    name = "badop"
+
+    def regions(self, nprocs):
+        return {"x": 8}
+
+    def programs(self, ctx):
+        def prog():
+            yield object()
+        return [prog() for _ in range(ctx.nprocs)]
+
+
+def test_unknown_op_rejected():
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        DecTreadMarksMachine().run(BadOp(), 1)
+
+
+class WrongCount(Application):
+    name = "wrongcount"
+
+    def regions(self, nprocs):
+        return {"x": 8}
+
+    def programs(self, ctx):
+        return []   # wrong: must be nprocs programs
+
+
+def test_program_count_mismatch_rejected():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        DecTreadMarksMachine().run(WrongCount(), 2)

@@ -1,0 +1,77 @@
+"""The numpy-backed shared store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.mem.layout import AddressSpace, Geometry
+from repro.mem.store import SharedStore
+
+
+@pytest.fixture
+def store():
+    space = AddressSpace(Geometry(4096, 64))
+    space.alloc("a", 4096)
+    space.alloc("b", 8192)
+    return SharedStore(space)
+
+
+def test_views_are_typed_and_shared(store):
+    fa = store.view("a", np.float64)
+    assert fa.size == 512
+    fa[0] = 3.25
+    raw = store.raw("a")
+    assert np.frombuffer(raw[:8].tobytes(), np.float64)[0] == 3.25
+
+
+def test_views_cached(store):
+    assert store.view("a") is store.view("a")
+    assert store.view("a", np.int32) is not store.view("a", np.float64)
+
+
+def test_regions_do_not_alias(store):
+    store.view("a", np.uint8)[:] = 1
+    assert store.view("b", np.uint8).sum() == 0
+
+
+def test_count_changed_bytes(store):
+    vals = np.arange(16, dtype=np.float64)
+    assert store.count_changed_bytes("a", 0, vals) > 0
+    store.write("a", 0, vals)
+    assert store.count_changed_bytes("a", 0, vals) == 0
+    vals2 = vals.copy()
+    vals2[3] += 1.0
+    changed = store.count_changed_bytes("a", 0, vals2)
+    assert 1 <= changed <= 8
+
+
+def test_write_returns_changed_and_persists(store):
+    vals = np.full(8, 7.0)
+    changed = store.write("a", 64, vals)
+    assert changed == store.write("a", 64, np.zeros(8)) > 0
+    assert store.write("a", 64, np.zeros(8)) == 0
+
+
+def test_read_copies(store):
+    store.write("a", 0, np.full(4, 9.0))
+    snapshot = store.read("a", 0, 32)
+    store.write("a", 0, np.zeros(4))
+    assert np.frombuffer(snapshot.tobytes(), np.float64)[0] == 9.0
+
+
+def test_bounds_checked(store):
+    with pytest.raises(AddressError):
+        store.write("a", 4090, np.zeros(2))
+    with pytest.raises(AddressError):
+        store.read("a", 4096, 1)
+
+
+def test_checksum_changes_with_content(store):
+    c0 = store.checksum("a")
+    store.write("a", 0, np.full(4, 5.0))
+    c1 = store.checksum("a")
+    assert c0 != c1
+    # Position-sensitive: same bytes elsewhere give a different sum.
+    store.write("a", 0, np.zeros(4))
+    store.write("a", 32, np.full(4, 5.0))
+    assert store.checksum("a") not in (c0, c1)

@@ -1,0 +1,103 @@
+"""Generator tasks and operation dispatch."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.task import OpHandler, ProcTask
+
+
+class Echo(OpHandler):
+    """Resumes after `op` cycles, returning op*2."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def handle(self, task, op):
+        task.resume(self.engine.now + op, op * 2)
+
+
+def test_values_flow_back_into_generator():
+    engine = Engine()
+    results = []
+
+    def prog():
+        results.append((yield 5))
+        results.append((yield 10))
+
+    task = ProcTask(engine, 0, prog(), Echo(engine))
+    task.start()
+    engine.run()
+    assert results == [10, 20]
+    assert task.finished
+    assert task.finish_time == 15
+
+
+def test_tasks_interleave_by_simulated_time():
+    engine = Engine()
+    trace = []
+
+    class Tracer(OpHandler):
+        def handle(self, task, op):
+            trace.append((engine.now, task.proc_id))
+            task.resume(engine.now + op)
+
+    def prog(delays):
+        for d in delays:
+            yield d
+
+    t0 = ProcTask(engine, 0, prog([10, 10]), Tracer())
+    t1 = ProcTask(engine, 1, prog([5, 5, 5]), Tracer())
+    t0.start()
+    t1.start()
+    engine.run()
+    # Task 1's 5-cycle steps land between task 0's 10-cycle steps.
+    assert (5, 1) in trace and (10, 0) in trace
+
+
+def _gen(*ops_to_yield):
+    def prog():
+        for op in ops_to_yield:
+            yield op
+    return prog()
+
+
+def test_double_start_rejected():
+    engine = Engine()
+    task = ProcTask(engine, 0, _gen(), Echo(engine))
+    task.start()
+    with pytest.raises(SimulationError):
+        task.start()
+
+
+def test_resume_without_pending_op_rejected():
+    engine = Engine()
+    task = ProcTask(engine, 0, _gen(1), Echo(engine))
+    with pytest.raises(SimulationError):
+        task.resume(0)
+
+
+def test_resume_after_finish_rejected():
+    engine = Engine()
+    task = ProcTask(engine, 0, _gen(), Echo(engine))
+    task.start()
+    engine.run()
+    assert task.finished
+    with pytest.raises(SimulationError):
+        task.resume(10)
+
+
+def test_ops_issued_counted():
+    engine = Engine()
+    task = ProcTask(engine, 0, _gen(1, 2, 3), Echo(engine))
+    task.start()
+    engine.run()
+    assert task.ops_issued == 3
+
+
+def test_start_offset():
+    engine = Engine()
+    task = ProcTask(engine, 3, _gen(7), Echo(engine))
+    task.start(at=100)
+    engine.run()
+    assert task.finish_time == 107

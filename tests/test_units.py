@@ -1,0 +1,63 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_cycles_to_seconds():
+    assert units.cycles_to_seconds(40_000_000, 40e6) == pytest.approx(1.0)
+    assert units.cycles_to_seconds(0, 40e6) == 0.0
+
+
+def test_cycles_to_seconds_rejects_bad_clock():
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(1, 0)
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(1, -1e6)
+
+
+def test_seconds_to_cycles_rounds_up():
+    assert units.seconds_to_cycles(1.0, 40e6) == 40_000_000
+    # A tiny positive duration never becomes zero cycles.
+    assert units.seconds_to_cycles(1e-12, 40e6) == 1
+    assert units.seconds_to_cycles(0.0, 40e6) == 0
+
+
+def test_seconds_to_cycles_rejects_negative():
+    with pytest.raises(ValueError):
+        units.seconds_to_cycles(-1.0, 40e6)
+
+
+def test_bytes_to_words_rounds_up():
+    assert units.bytes_to_words(0) == 0
+    assert units.bytes_to_words(1) == 1
+    assert units.bytes_to_words(4) == 1
+    assert units.bytes_to_words(5) == 2
+    assert units.bytes_to_words(4096) == 1024
+
+
+def test_bytes_to_words_rejects_negative():
+    with pytest.raises(ValueError):
+        units.bytes_to_words(-1)
+
+
+def test_transfer_cycles():
+    # 1000 bytes at 1 MB/s on a 1 MHz clock: 1000 cycles.
+    assert units.transfer_cycles(1000, 1e6, 1e6) == 1000
+
+
+def test_per_second():
+    assert units.per_second(10, 40e6, 40e6) == pytest.approx(10.0)
+    assert units.per_second(10, 0, 40e6) == 0.0
+
+
+def test_bandwidth_from_mbits():
+    assert units.bandwidth_from_mbits(8) == pytest.approx(1e6)
+    with pytest.raises(ValueError):
+        units.bandwidth_from_mbits(0)
+
+
+def test_mbits_per_sec_roundtrip():
+    assert units.mbits_per_sec(units.bandwidth_from_mbits(100) * 8) == \
+        pytest.approx(100.0)

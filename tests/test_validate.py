@@ -1,0 +1,64 @@
+"""The executable shape-claim checks."""
+
+import pytest
+
+from repro.harness.experiments import REGISTRY, Report, Scale
+from repro.harness.validate import (CHECKS, ShapeCheck, format_results,
+                                    run_validation)
+
+
+def test_every_check_references_known_experiment():
+    for check in CHECKS:
+        assert check.exp_id in REGISTRY, check.name
+
+
+def test_check_names_unique():
+    names = [c.name for c in CHECKS]
+    assert len(names) == len(set(names))
+
+
+def test_format_results():
+    checks = [ShapeCheck("demo", "t1", "demo claim", lambda r: True)]
+    lines = format_results([(checks[0], True), (checks[0], False)])
+    assert lines[0].startswith("[PASS]")
+    assert lines[1].startswith("[FAIL]")
+    assert lines[-1] == "1/2 shape claims hold"
+
+
+def test_run_validation_shares_experiment_runs(monkeypatch):
+    calls = []
+
+    def fake_run(exp_id, scale):
+        calls.append(exp_id)
+        return Report(exp_id, "t", data={"x": 1})
+
+    monkeypatch.setattr("repro.harness.validate.run_experiment",
+                        fake_run)
+    checks = [
+        ShapeCheck("a", "t1", "c", lambda r: r.data["x"] == 1),
+        ShapeCheck("b", "t1", "c", lambda r: True),
+        ShapeCheck("c", "t2", "c", lambda r: False),
+    ]
+    results = run_validation(Scale.TEST, checks)
+    assert calls == ["t1", "t2"]          # t1 ran once, shared
+    assert [ok for _c, ok in results] == [True, True, False]
+
+
+@pytest.mark.parametrize("check", CHECKS, ids=lambda c: c.name)
+def test_predicates_do_not_crash_on_real_reports(check, shared_reports):
+    """Every predicate must evaluate (True or False) on real data."""
+    report = shared_reports(check.exp_id)
+    assert check.evaluate(report) in (True, False)
+
+
+@pytest.fixture(scope="module")
+def shared_reports():
+    from repro.harness.experiments import run_experiment
+    cache = {}
+
+    def get(exp_id):
+        if exp_id not in cache:
+            cache[exp_id] = run_experiment(exp_id, Scale.TEST)
+        return cache[exp_id]
+
+    return get

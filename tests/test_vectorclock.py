@@ -1,0 +1,110 @@
+"""Vector timestamps, including algebraic laws via hypothesis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsm.vectorclock import ENTRY_BYTES, VectorClock
+from repro.errors import ConfigurationError
+
+clocks = st.lists(st.integers(0, 100), min_size=1, max_size=8).map(
+    lambda e: VectorClock(entries=e))
+
+
+def paired(draw_width=st.integers(1, 8)):
+    return draw_width.flatmap(
+        lambda w: st.tuples(
+            st.lists(st.integers(0, 100), min_size=w, max_size=w).map(
+                lambda e: VectorClock(entries=e)),
+            st.lists(st.integers(0, 100), min_size=w, max_size=w).map(
+                lambda e: VectorClock(entries=e))))
+
+
+def test_basics():
+    vc = VectorClock(4)
+    assert vc.num_nodes == 4
+    assert vc[2] == 0
+    assert vc.tick(2) == 1
+    assert vc[2] == 1
+    vc[3] = 7
+    assert vc.snapshot() == (0, 0, 1, 7)
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ConfigurationError):
+        VectorClock(0)
+
+
+def test_copy_is_independent():
+    a = VectorClock(entries=[1, 2])
+    b = a.copy()
+    b.tick(0)
+    assert a[0] == 1 and b[0] == 2
+
+
+def test_dominates_and_concurrent():
+    a = VectorClock(entries=[2, 1])
+    b = VectorClock(entries=[1, 1])
+    c = VectorClock(entries=[1, 2])
+    assert a.dominates(b) and not b.dominates(a)
+    assert a.concurrent_with(c)
+    assert not a.concurrent_with(a)
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        VectorClock(2).merge(VectorClock(3))
+
+
+def test_wire_bytes():
+    assert VectorClock(8).wire_bytes() == 8 * ENTRY_BYTES
+
+
+def test_equality_and_hash():
+    a = VectorClock(entries=[1, 2])
+    b = VectorClock(entries=[1, 2])
+    assert a == b and hash(a) == hash(b)
+    assert a != VectorClock(entries=[2, 1])
+
+
+@given(paired())
+def test_merge_is_least_upper_bound(pair):
+    a, b = pair
+    merged = a.copy()
+    merged.merge(b)
+    assert merged.dominates(a)
+    assert merged.dominates(b)
+    # Least: any clock dominating both dominates the merge.
+    for i in range(merged.num_nodes):
+        assert merged[i] == max(a[i], b[i])
+
+
+@given(paired())
+def test_merge_commutative(pair):
+    a, b = pair
+    ab = a.copy()
+    ab.merge(b)
+    ba = b.copy()
+    ba.merge(a)
+    assert ab == ba
+
+
+@given(clocks)
+def test_merge_idempotent(a):
+    m = a.copy()
+    m.merge(a)
+    assert m == a
+
+
+@given(paired())
+def test_dominance_antisymmetry(pair):
+    a, b = pair
+    if a.dominates(b) and b.dominates(a):
+        assert a == b
+
+
+@given(clocks)
+def test_tick_strictly_advances(a):
+    before = a.copy()
+    a.tick(0)
+    assert a.dominates(before)
+    assert a != before
