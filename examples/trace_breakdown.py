@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Where does the time go?  Tracing one run and a whole sweep.
+
+Reproduces the paper's Figure-14 question in miniature: trace SOR on
+the software DSM and the bus machine, print each processor's time
+breakdown, then export a Chrome trace you can open in
+chrome://tracing or https://ui.perfetto.dev.
+
+Run:  python examples/trace_breakdown.py
+"""
+
+from repro import DecTreadMarksMachine, SgiMachine, SorApp
+from repro.trace import Tracer, trace_session, write_chrome_trace
+
+
+def single_run() -> None:
+    """Explicit tracer: full control over one run."""
+    app = SorApp(rows=500, cols=500, iterations=4)
+    tracer = Tracer(label="treadmarks/sor/p8")
+    result = DecTreadMarksMachine().run(app, 8, tracer=tracer)
+
+    b = result.breakdown
+    print(f"{result.machine} / {result.app} on {result.nprocs} "
+          f"processors: {result.cycles} cycles")
+    print(f"{'proc':>4}  " + "".join(f"{c:>9}" for c in b.PRIMARY))
+    for proc in range(result.nprocs):
+        row = b.per_proc[proc]
+        print(f"{proc:>4}  " + "".join(
+            f"{row.get(c, 0) / result.cycles:>9.1%}" for c in b.PRIMARY))
+    print(f"software overhead fraction: "
+          f"{b.software_overhead_fraction():.1%}")
+    print(f"overlay (overlapping detail): "
+          f"{ {k: v for k, v in b.overlay.items()} }\n")
+
+
+def sweep() -> None:
+    """Session scope: every run inside is traced automatically."""
+    app = SorApp(rows=500, cols=500, iterations=4)
+    with trace_session() as session:
+        for machine in (DecTreadMarksMachine(), SgiMachine()):
+            for nprocs in (1, 8):
+                machine.run(app, nprocs)
+
+    print(f"{'run':<24}{'compute':>9}{'overhead':>10}")
+    for run in session.runs:
+        r, b = run.result, run.result.breakdown
+        print(f"{r.machine + '/p' + str(r.nprocs):<24}"
+              f"{b.fractions()['compute']:>9.1%}"
+              f"{b.software_overhead_fraction():>10.1%}")
+
+    out = "sor_breakdown.trace.json"
+    write_chrome_trace(out, session.tracers)
+    print(f"\nwrote {out} — open it in chrome://tracing")
+
+
+if __name__ == "__main__":
+    single_run()
+    sweep()

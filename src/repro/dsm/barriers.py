@@ -19,6 +19,7 @@ from typing import Callable, Dict
 
 from repro.errors import ProtocolError
 from repro.stats.counters import DataKind, MsgKind
+from repro.trace.tracer import Category
 
 DepartCallback = Callable[[int], None]
 """Called as ``cb(time)`` when the node may leave the barrier."""
@@ -29,6 +30,7 @@ class _Episode:
     index: int
     waiting: Dict[int, DepartCallback] = field(default_factory=dict)
     arrived: int = 0
+    first_arrival: int = -1  # time of first node arrival (for tracing)
 
 
 class BarrierManager:
@@ -66,6 +68,14 @@ class BarrierManager:
                 f"node {node} arrived twice at barrier {barrier_id} "
                 f"episode {episode.index}")
         episode.waiting[node] = done
+        engine = self.net.engine
+        if episode.first_arrival < 0:
+            episode.first_arrival = engine.now
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.instant(node, Category.SYNC, "barrier_arrive",
+                           engine.now, track=f"node{node}.dsm",
+                           barrier=barrier_id, episode=episode.index)
 
         if node == self.manager_node:
             self._arrived(barrier_id, node)
@@ -89,6 +99,13 @@ class BarrierManager:
         self._counts[barrier_id] = episode.index + 1
         del self._episodes[barrier_id]
         engine = self.net.engine
+        tracer = engine.tracer
+        if tracer.enabled and engine.now > episode.first_arrival:
+            tracer.complete(
+                self.manager_node, Category.SYNC,
+                f"barrier{barrier_id}#{episode.index}",
+                episode.first_arrival, engine.now, track="barrier",
+                nodes=self.num_nodes)
         for dst, done in episode.waiting.items():
             if dst == self.manager_node:
                 at = engine.now + self.local_cycles

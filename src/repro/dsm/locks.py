@@ -22,6 +22,7 @@ from typing import Callable, Deque, Dict, Optional
 
 from repro.errors import ProtocolError
 from repro.stats.counters import DataKind, MsgKind
+from repro.trace.tracer import Category
 
 GrantCallback = Callable[[int, bool], None]
 """Called as ``cb(time, was_remote)`` when the lock is held."""
@@ -119,6 +120,11 @@ class DistributedLocks:
 
         # Remote path: request -> manager -> probable owner.
         self.net.counters.remote_lock_acquires += 1
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.instant(node, Category.SYNC, "lock_request",
+                           engine.now, track=f"node{node}.dsm",
+                           lock=lock_id)
         self.net.send(node, rec.manager, self.request_payload_bytes,
                       kind=MsgKind.LOCK_REQUEST,
                       data_kind=DataKind.CONSISTENCY,
@@ -182,6 +188,11 @@ class DistributedLocks:
         payload = self.grant_payload(src, waiter.node)
         rec.token_node = waiter.node  # token (plus queue) migrates
         rec.in_transit = True
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.instant(src, Category.SYNC, "lock_grant",
+                           engine.now, track=f"node{src}.dsm",
+                           lock=rec.lock_id, to=waiter.node)
 
         def delivered(time: int, w=waiter, s=src, r=rec) -> None:
             r.in_transit = False

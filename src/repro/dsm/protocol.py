@@ -42,6 +42,7 @@ from repro.mem.layout import AddressSpace
 from repro.net.atm import AtmNetwork
 from repro.net.overhead import SoftwareOverhead
 from repro.stats.counters import Counters, DataKind, MsgKind
+from repro.trace.tracer import Category
 
 DoneCallback = Callable[[int], None]
 
@@ -76,6 +77,8 @@ class _FaultJob:
     waiters: List[DoneCallback] = field(default_factory=list)
     outstanding: int = 0
     apply_cycles: int = 0
+    started: int = 0      # fault start time (for tracing)
+    remote: bool = False  # needed remote diffs (for tracing)
 
 
 class TreadMarksDsm:
@@ -249,6 +252,12 @@ class TreadMarksDsm:
         def after_faults(time: int) -> None:
             cost = self._record_writes(node, addr, nbytes, changed_bytes,
                                        first, last)
+            tracer = self.engine.tracer
+            if tracer.enabled and cost:
+                base = max(time, self.engine.now)
+                tracer.complete(node, Category.PROTOCOL, "twin",
+                                base, base + cost,
+                                track=f"node{node}.dsm")
             self.engine.schedule_at(max(time, self.engine.now) + cost,
                                     done, time + cost)
 
@@ -303,9 +312,15 @@ class TreadMarksDsm:
             return
 
         pend = table.begin_fault(page)
-        job = _FaultJob(node, page, waiters=[done])
+        job = _FaultJob(node, page, waiters=[done],
+                        started=self.engine.now)
         self._inflight[key] = job
         fault_cost = self.overhead.fault_cost()
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(node, Category.MISS, "page_fault",
+                           self.engine.now, track=f"node{node}.dsm",
+                           page=page)
 
         creators = {c: b for c, b in pend.by_creator.items() if c != node}
         if not creators:
@@ -314,6 +329,7 @@ class TreadMarksDsm:
             return
 
         self.counters.remote_page_faults += 1
+        job.remote = True
         by_creator_intervals: Dict[int, List[int]] = {}
         for creator, index in pend.intervals:
             by_creator_intervals.setdefault(creator, []).append(index)
@@ -344,6 +360,11 @@ class TreadMarksDsm:
                 self.pages[creator].consume_twin(job.page)
         _start, ready = self.net.handlers[creator].acquire(
             self.engine.now, create_cost)
+        tracer = self.engine.tracer
+        if tracer.enabled and ready > _start:
+            tracer.complete(creator, Category.PROTOCOL, "diff_create",
+                            _start, ready, track=f"node{creator}.dsm",
+                            page=job.page, for_node=job.node)
         self.net.send(creator, job.node, wire_bytes,
                       kind=MsgKind.DIFF_RESPONSE, data_kind=DataKind.MISS,
                       now=ready,
@@ -352,12 +373,24 @@ class TreadMarksDsm:
 
     def _diff_arrived(self, job: _FaultJob, wire_bytes: int,
                       time: int) -> None:
-        job.apply_cycles += self.overhead.diff_apply_cost(wire_bytes)
+        apply_cost = self.overhead.diff_apply_cost(wire_bytes)
+        job.apply_cycles += apply_cost
+        tracer = self.engine.tracer
+        if tracer.enabled and apply_cost:
+            tracer.complete(job.node, Category.PROTOCOL, "diff_apply",
+                            time, time + apply_cost,
+                            track=f"node{job.node}.dsm", page=job.page)
         job.outstanding -= 1
         if job.outstanding == 0:
             self._finish_fault(job, time + job.apply_cycles)
 
     def _finish_fault(self, job: _FaultJob, at: int) -> None:
+        tracer = self.engine.tracer
+        if tracer.enabled and at > job.started:
+            tracer.complete(job.node, Category.MISS,
+                            "remote_fault" if job.remote else "local_fault",
+                            job.started, at,
+                            track=f"node{job.node}.dsm", page=job.page)
         self.pages[job.node].revalidate(job.page)
         del self._inflight[(job.node, job.page)]
         if self.page_refreshed_hook is not None:
@@ -370,6 +403,11 @@ class TreadMarksDsm:
     # ==================================================================
     def _eager_push(self, node: int, interval: Interval) -> None:
         """Push this interval's diffs to every node with a valid copy."""
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(node, Category.PROTOCOL, "eager_push",
+                           self.engine.now, track=f"node{node}.dsm",
+                           pages=len(interval.pages))
         for page, changed in interval.pages.items():
             wire = estimate_wire_bytes(changed)
             interval.diffs_made.add(page)

@@ -4,18 +4,22 @@ Usage::
 
     repro-harness list
     repro-harness run t1 fig3 --scale bench
-    repro-harness run all --scale test
+    repro-harness run all --scale test --metrics-out metrics.jsonl
+    repro-harness trace fig3 --scale test
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 from repro.harness.experiments import (REGISTRY, Scale, list_experiments,
                                        run_experiment)
+from repro.trace import (trace_session, write_chrome_trace,
+                         write_metrics_jsonl)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,7 +39,27 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--scale", choices=[s.value for s in Scale],
                         default=Scale.BENCH.value,
                         help="problem-size scale (default: bench)")
+    runner.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="also write one metrics JSON line per "
+                             "machine run (machine, app, cycles, "
+                             "counters)")
     runner.set_defaults(func=cmd_run)
+
+    tracer = sub.add_parser(
+        "trace",
+        help="run experiments with tracing on; write a Chrome trace")
+    tracer.add_argument("ids", nargs="+",
+                        help="experiment ids (or 'all')")
+    tracer.add_argument("--scale", choices=[s.value for s in Scale],
+                        default=Scale.TEST.value,
+                        help="problem-size scale (default: test)")
+    tracer.add_argument("--out", metavar="PATH", default=None,
+                        help="Chrome trace output path (default: "
+                             "traces/<ids>-<scale>.trace.json)")
+    tracer.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="also write metrics JSONL (with time "
+                             "breakdowns) for the traced runs")
+    tracer.set_defaults(func=cmd_trace)
 
     validator = sub.add_parser(
         "validate",
@@ -53,24 +77,86 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    scale = Scale(args.scale)
-    ids: List[str] = args.ids
+def _resolve_ids(ids: List[str]) -> Optional[List[str]]:
     if ids == ["all"]:
-        ids = [e.exp_id for e in list_experiments()]
+        return [e.exp_id for e in list_experiments()]
     unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"known: {sorted(REGISTRY)}", file=sys.stderr)
+        return None
+    return ids
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = Scale(args.scale)
+    ids = _resolve_ids(args.ids)
+    if ids is None:
         return 2
-    for exp_id in ids:
-        start = time.time()
-        report = run_experiment(exp_id, scale)
-        elapsed = time.time() - start
-        print(report.text())
-        print(f"   [{exp_id} at scale={scale.value} in {elapsed:.1f}s; "
-              f"expected shape: {REGISTRY[exp_id].shape_note}]")
-        print()
+
+    def run_all() -> None:
+        for exp_id in ids:
+            start = time.time()
+            report = run_experiment(exp_id, scale)
+            elapsed = time.time() - start
+            print(report.text())
+            print(f"   [{exp_id} at scale={scale.value} in "
+                  f"{elapsed:.1f}s; "
+                  f"expected shape: {REGISTRY[exp_id].shape_note}]")
+            print()
+
+    if args.metrics_out:
+        # Metrics-only session: collects every run with zero per-event
+        # overhead (no tracers are created).
+        with trace_session(trace=False) as session:
+            run_all()
+        lines = write_metrics_jsonl(args.metrics_out, session.results)
+        print(f"wrote {lines} metrics records to {args.metrics_out}")
+    else:
+        run_all()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    scale = Scale(args.scale)
+    ids = _resolve_ids(args.ids)
+    if ids is None:
+        return 2
+    out = args.out
+    if out is None:
+        out = os.path.join(
+            "traces", f"{'-'.join(ids)}-{scale.value}.trace.json")
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+
+    with trace_session(trace=True) as session:
+        for exp_id in ids:
+            start = time.time()
+            report = run_experiment(exp_id, scale)
+            elapsed = time.time() - start
+            print(report.text())
+            print(f"   [{exp_id} traced at scale={scale.value} in "
+                  f"{elapsed:.1f}s]")
+            print()
+
+    write_chrome_trace(out, session.tracers)
+    print(f"wrote Chrome trace of {len(session.tracers)} runs to {out}")
+    print("  (load in chrome://tracing or https://ui.perfetto.dev)")
+    print()
+    print("time breakdown (fraction of aggregate processor time):")
+    for run in session.runs:
+        b = run.result.breakdown
+        if b is None:
+            continue
+        fracs = " ".join(f"{cat}={frac:.2f}"
+                         for cat, frac in b.fractions().items())
+        print(f"  {run.result.machine:12s} {run.result.app:12s} "
+              f"p{run.result.nprocs:<3d} {fracs} "
+              f"sw_overhead={b.software_overhead_fraction():.2f}")
+    if args.metrics_out:
+        lines = write_metrics_jsonl(args.metrics_out, session.results)
+        print(f"wrote {lines} metrics records to {args.metrics_out}")
     return 0
 
 

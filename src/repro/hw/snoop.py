@@ -18,6 +18,7 @@ import numpy as np
 from repro.mem.directcache import (DirectMappedCache, EXCLUSIVE, SHARED)
 from repro.net.bus import BusModel
 from repro.stats.counters import Counters
+from repro.trace.tracer import Category
 
 
 class SnoopingSystem:
@@ -61,6 +62,7 @@ class SnoopingSystem:
         (invalidate) transactions are address-only.  Memory service
         time is charged while the bus is held, 4D/480-style.
         """
+        tracer = self.bus.tracer
         end = now
         if n_fills + n_writebacks:
             per = self.bus.timing.transaction_cycles(self.line_bytes)
@@ -71,6 +73,10 @@ class SnoopingSystem:
                 trailing = self.memory_extra_cycles * n_fills
             occupancy = per * (n_fills + n_writebacks)
             _s, end = self.bus.resource.acquire(now, occupancy)
+            if tracer.enabled:
+                tracer.complete(0, Category.NETWORK, "miss_fill",
+                                _s, end, track=self.bus.name,
+                                fills=n_fills, writebacks=n_writebacks)
             end += trailing
             self.bus.counters.bus_transactions += n_fills + n_writebacks
             self.bus.counters.bus_data_bytes += (
@@ -79,6 +85,10 @@ class SnoopingSystem:
             per = self.bus.timing.transaction_cycles(0)
             _s, end2 = self.bus.resource.acquire(max(now, end),
                                                  per * n_upgrades)
+            if tracer.enabled:
+                tracer.complete(0, Category.NETWORK, "upgrade",
+                                _s, end2, track=self.bus.name,
+                                upgrades=n_upgrades)
             self.bus.counters.bus_transactions += n_upgrades
             end = max(end, end2)
         return end

@@ -22,6 +22,7 @@ from repro.sim.engine import Engine
 from repro.sim.resource import Resource
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
+from repro.trace.tracer import Category
 
 
 class DirectoryRuntime(Runtime):
@@ -39,15 +40,23 @@ class DirectoryRuntime(Runtime):
 
     def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
         first, last = self.space.geometry.line_span(addr, nbytes)
-        end = self.directory.read(task.proc_id, first, last,
-                                  self.engine.now)
+        now = self.engine.now
+        end = self.directory.read(task.proc_id, first, last, now)
+        tracer = self.engine.tracer
+        if tracer.enabled and end > now:
+            tracer.complete(task.proc_id, Category.MISS, "dir_read",
+                            now, end, track=f"p{task.proc_id}.mem")
         task.resume(end)
 
     def do_write(self, task: ProcTask, addr: int, nbytes: int,
                  changed_bytes: int) -> None:
         first, last = self.space.geometry.line_span(addr, nbytes)
-        end = self.directory.write(task.proc_id, first, last,
-                                   self.engine.now)
+        now = self.engine.now
+        end = self.directory.write(task.proc_id, first, last, now)
+        tracer = self.engine.tracer
+        if tracer.enabled and end > now:
+            tracer.complete(task.proc_id, Category.MISS, "dir_write",
+                            now, end, track=f"p{task.proc_id}.mem")
         task.resume(end)
 
     def do_acquire(self, task: ProcTask, lock: int) -> None:

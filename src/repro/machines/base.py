@@ -21,6 +21,9 @@ from repro.sim.engine import Engine
 from repro.sim.task import OpHandler, ProcTask
 from repro.stats.counters import Counters
 from repro.stats.result import RunResult
+from repro.trace import session as trace_session
+from repro.trace.opmap import op_category
+from repro.trace.tracer import Tracer
 
 
 class Runtime(OpHandler):
@@ -39,6 +42,11 @@ class Runtime(OpHandler):
 
     # ------------------------------------------------------------------
     def handle(self, task: ProcTask, op: Any) -> None:
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            category, name = op_category(op)
+            tracer.begin_op(task.proc_id, category, name,
+                            self.engine.now)
         if isinstance(op, ops.Compute):
             task.busy_cycles += op.cycles
             task.resume(self.engine.now + op.cycles)
@@ -116,15 +124,27 @@ class Machine:
     # ------------------------------------------------------------------
     def run(self, app: Application, nprocs: int, *,
             seed: int = 42,
-            params: Optional[Dict[str, Any]] = None) -> RunResult:
-        """Execute ``app`` on ``nprocs`` processors; returns results."""
+            params: Optional[Dict[str, Any]] = None,
+            tracer: Optional[Tracer] = None) -> RunResult:
+        """Execute ``app`` on ``nprocs`` processors; returns results.
+
+        Pass a :class:`~repro.trace.tracer.Tracer` to collect spans
+        and a time breakdown; inside an active
+        :func:`~repro.trace.session.trace_session`, one is supplied
+        (and the result collected) automatically.
+        """
         app.check_nprocs(nprocs)
         if nprocs > self.max_procs():
             raise ConfigurationError(
                 f"{self.name} supports at most {self.max_procs()} "
                 f"processors, requested {nprocs}")
 
-        engine = Engine()
+        session = trace_session.active_session()
+        if tracer is None and session is not None:
+            tracer = session.new_tracer(
+                f"{self.name}/{app.name}/p{nprocs}")
+
+        engine = Engine(tracer=tracer)
         space = AddressSpace(self.geometry())
         for region_name, size in app.regions(nprocs).items():
             space.alloc(region_name, size)
@@ -152,7 +172,12 @@ class Machine:
         cycles = max((t.finish_time or 0) for t in tasks)
         output = app.verify(ctx)
         output.update(ctx.output)
-        return RunResult(
+        breakdown = None
+        if tracer is not None and tracer.enabled:
+            breakdown = tracer.finish(
+                cycles, nprocs, self.clock_hz,
+                machine=self.name, app=app.name)
+        result = RunResult(
             machine=self.name,
             app=app.name,
             nprocs=nprocs,
@@ -161,7 +186,12 @@ class Machine:
             counters=counters,
             app_output=output,
             params={"seed": seed, **(params or {})},
+            events=engine.events_processed,
+            breakdown=breakdown,
         )
+        if session is not None:
+            session.record(result, tracer)
+        return result
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} '{self.name}'>"

@@ -30,6 +30,7 @@ from repro.net.bus import BusModel
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
+from repro.trace.tracer import Category
 
 
 class HybridRuntime(Runtime):
@@ -58,7 +59,8 @@ class HybridRuntime(Runtime):
         ]
         self.node_snoops: List[SnoopingSystem] = []
         for node in range(num_nodes):
-            bus = BusModel(f"hs.bus[{node}]", params.node_bus, counters)
+            bus = BusModel(f"hs.bus[{node}]", params.node_bus, counters,
+                           tracer=engine.tracer)
             members = [self.caches[p] for p in self.node_procs[node]]
             self.node_snoops.append(SnoopingSystem(
                 members, bus, counters,
@@ -139,6 +141,11 @@ class HybridRuntime(Runtime):
         # Last processor on the node: send the node-level arrival.
         del self._node_barrier[key]
         intra = self.params.intra_barrier_cycles * len(waiting)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(proc, Category.SYNC, "node_barrier_full",
+                           self.engine.now, track=f"node{node}.dsm",
+                           barrier=barrier_id, procs=len(waiting))
 
         def departed(time: int) -> None:
             for i, member in enumerate(waiting):

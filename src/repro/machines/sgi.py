@@ -86,7 +86,7 @@ class SgiMachine(Machine):
         p = self.params
         caches = [DirectMappedCache(p.l2_bytes, p.line_bytes, name=f"l2.{i}")
                   for i in range(nprocs)]
-        bus = BusModel("sgi.bus", p.bus, counters)
+        bus = BusModel("sgi.bus", p.bus, counters, tracer=engine.tracer)
         snoop = SnoopingSystem(
             caches, bus, counters,
             line_bytes=p.line_bytes,

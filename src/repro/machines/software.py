@@ -22,6 +22,7 @@ from repro.net.overhead import SoftwareOverhead
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
+from repro.trace.tracer import Category
 
 
 class DsmRuntime(Runtime):
@@ -62,6 +63,10 @@ class DsmRuntime(Runtime):
 
         def after(time: int) -> None:
             cost = self._local_cost(proc, addr, nbytes, write=False)
+            tracer = self.engine.tracer
+            if tracer.enabled and cost:
+                tracer.complete(proc, Category.MISS, "local_mem",
+                                time, time + cost, track=f"p{proc}.mem")
             task.resume(time + cost)
 
         self.dsm.read(proc, addr, nbytes, after)
@@ -72,6 +77,10 @@ class DsmRuntime(Runtime):
 
         def after(time: int) -> None:
             cost = self._local_cost(proc, addr, nbytes, write=True)
+            tracer = self.engine.tracer
+            if tracer.enabled and cost:
+                tracer.complete(proc, Category.MISS, "local_mem",
+                                time, time + cost, track=f"p{proc}.mem")
             task.resume(time + cost)
 
         self.dsm.write(proc, addr, nbytes, changed_bytes, after)

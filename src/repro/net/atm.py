@@ -27,6 +27,7 @@ from repro.sim.engine import Engine
 from repro.sim.resource import MultiResource, Resource
 from repro.stats.counters import Counters, DataKind, MsgKind
 from repro.net.overhead import SoftwareOverhead
+from repro.trace.tracer import Category
 
 
 class AtmNetwork:
@@ -78,19 +79,33 @@ class AtmNetwork:
                                     self.header_bytes)
 
         send_cpu = self.overhead.send_cost(payload_bytes)
-        _start, sent = self.handlers[src].acquire(now, send_cpu)
+        sstart, sent = self.handlers[src].acquire(now, send_cpu)
 
         if src == dst:
             arrival = sent
+            ostart = sent
         else:
             frame = payload_bytes + self.header_bytes
             wire = self.wire_cycles(frame)
-            _ostart, out_done = self.out_links[src].acquire(sent, wire)
+            ostart, out_done = self.out_links[src].acquire(sent, wire)
             at_switch = out_done + self.switch_latency
             _istart, arrival = self.in_links[dst].acquire(at_switch, wire)
 
         recv_cpu = self.overhead.recv_cost(payload_bytes)
-        _rstart, delivered = self.handlers[dst].acquire(arrival, recv_cpu)
+        rstart, delivered = self.handlers[dst].acquire(arrival, recv_cpu)
+
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(src, Category.PROTOCOL, f"send:{kind.value}",
+                            sstart, sent, track=f"node{src}.sw",
+                            dst=dst, bytes=payload_bytes)
+            if src != dst:
+                tracer.complete(src, Category.NETWORK, kind.value,
+                                ostart, arrival, track=f"link{src}",
+                                dst=dst, bytes=payload_bytes)
+            tracer.complete(dst, Category.PROTOCOL, f"recv:{kind.value}",
+                            rstart, delivered, track=f"node{dst}.sw",
+                            src=src, bytes=payload_bytes)
 
         if on_delivered is not None:
             self.engine.schedule_at(delivered, on_delivered, delivered)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.sim.resource import Resource
 from repro.stats.counters import Counters
+from repro.trace.tracer import NULL_TRACER, Category, Tracer
 
 
 @dataclass(frozen=True)
@@ -42,18 +43,26 @@ class BusModel:
     """A snooping bus: FCFS resource + transaction accounting."""
 
     def __init__(self, name: str, timing: BusTiming,
-                 counters: Counters) -> None:
+                 counters: Counters,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.name = name
         self.timing = timing
         self.counters = counters
         self.resource = Resource(name)
+        #: Observation hook; machines point this at the engine's tracer
+        #: (the bus itself never sees the engine).
+        self.tracer = tracer
 
     def transaction(self, now: int, data_bytes: int) -> int:
         """Issue one bus transaction at ``now``; returns finish time."""
         occupancy = self.timing.transaction_cycles(data_bytes)
-        _start, end = self.resource.acquire(now, occupancy)
+        start, end = self.resource.acquire(now, occupancy)
         self.counters.bus_transactions += 1
         self.counters.bus_data_bytes += data_bytes
+        if self.tracer.enabled:
+            self.tracer.complete(0, Category.NETWORK, "bus_txn",
+                                 start, end, track=self.name,
+                                 bytes=data_bytes)
         return end
 
     def transactions(self, now: int, count: int, data_bytes_each: int) -> int:
@@ -66,9 +75,13 @@ class BusModel:
         if count <= 0:
             return now
         occupancy = self.timing.transaction_cycles(data_bytes_each) * count
-        _start, end = self.resource.acquire(now, occupancy)
+        start, end = self.resource.acquire(now, occupancy)
         self.counters.bus_transactions += count
         self.counters.bus_data_bytes += data_bytes_each * count
+        if self.tracer.enabled:
+            self.tracer.complete(0, Category.NETWORK, "bus_txns",
+                                 start, end, track=self.name,
+                                 count=count, bytes=data_bytes_each * count)
         return end
 
     def utilization(self, horizon: int) -> float:

@@ -13,6 +13,7 @@ from repro import units
 from repro.sim.engine import Engine
 from repro.sim.resource import Resource
 from repro.stats.counters import Counters
+from repro.trace.tracer import Category
 
 
 class CrossbarNetwork:
@@ -48,4 +49,9 @@ class CrossbarNetwork:
         _ostart, out_done = self.out_ports[src].acquire(now, wire)
         at_dst = out_done + self.latency
         _istart, arrival = self.in_ports[dst].acquire(at_dst, wire)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(src, Category.NETWORK, "xfer",
+                            _ostart, arrival, track=f"xbar.out{src}",
+                            dst=dst, bytes=nbytes)
         return arrival

@@ -13,6 +13,7 @@ import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 Callback = Callable[..., None]
 
@@ -30,13 +31,16 @@ class Engine:
         print(engine.now)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self.now: int = 0
         self._heap: List[Tuple[int, int, Callback, tuple]] = []
         self._seq: int = 0
         self._tasks: List[Any] = []
         self._running = False
         self.events_processed: int = 0
+        #: Observation hook; never schedules events, so tracing cannot
+        #: change simulated time.  Defaults to the shared no-op tracer.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # scheduling
@@ -76,16 +80,27 @@ class Engine:
         Returns the final simulated time.  Raises
         :class:`~repro.errors.DeadlockError` if the queue drains while
         registered tasks remain unfinished.
+
+        ``until`` semantics (pinned by ``tests/test_engine.py``):
+        events scheduled at ``until`` itself still run; the first event
+        strictly later stays queued; ``now`` advances exactly to
+        ``until``; and the engine is immediately re-runnable to
+        continue from the horizon.  The deadlock check applies whenever
+        the queue *drains* — stopping early at the horizon is not a
+        deadlock, but draining with blocked tasks is, even when a
+        horizon was given.
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        stopped_at_horizon = False
         try:
             while self._heap:
                 time, _seq, fn, args = self._heap[0]
                 if until is not None and time > until:
+                    stopped_at_horizon = True
                     self.now = until
-                    return self.now
+                    break
                 heapq.heappop(self._heap)
                 self.now = time
                 self.events_processed += 1
@@ -93,9 +108,10 @@ class Engine:
         finally:
             self._running = False
 
-        blocked = [t for t in self._tasks if not t.finished]
-        if blocked and until is None:
-            raise DeadlockError(blocked)
+        if not stopped_at_horizon:
+            blocked = [t for t in self._tasks if not t.finished]
+            if blocked:
+                raise DeadlockError(blocked)
         return self.now
 
     def empty(self) -> bool:

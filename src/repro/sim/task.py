@@ -73,6 +73,11 @@ class ProcTask:
     # ------------------------------------------------------------------
     def _step(self, value: Any) -> None:
         self._last_resume = self.engine.now
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # The operation the processor was blocked on ends now; its
+            # whole window is attributed to that operation's category.
+            tracer.end_op(self.proc_id, self.engine.now)
         try:
             op = self.gen.send(value)
         except StopIteration:

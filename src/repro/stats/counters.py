@@ -10,7 +10,7 @@ counters for the bus and directory models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 from typing import Dict
 
@@ -132,20 +132,21 @@ class Counters:
         return self.data_bytes[DataKind.HEADER]
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat dictionary (for reports and tests)."""
+        """Flat dictionary (for reports and tests).
+
+        Scalar fields are discovered via :func:`dataclasses.fields`, so
+        counters added later appear here without further bookkeeping;
+        the two dict-valued fields are flattened with ``msg.``/``bytes.``
+        prefixes.
+        """
         out: Dict[str, float] = {
             f"msg.{k.value}": v for k, v in self.messages.items()}
         out.update({f"bytes.{k.value}": v for k, v in self.data_bytes.items()})
-        for name in (
-            "barriers", "lock_acquires", "remote_lock_acquires",
-            "page_faults", "remote_page_faults", "twins_created",
-            "diffs_created", "diff_bytes_created", "write_notices_sent",
-            "pages_invalidated", "diffs_merged", "bus_transactions",
-            "bus_data_bytes", "cache_hits", "cache_misses_local",
-            "cache_misses_remote", "invalidations", "writebacks",
-            "cache_to_cache", "network_hops",
-        ):
-            out[name] = getattr(self, name)
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                continue  # messages / data_bytes, flattened above
+            out[f.name] = value
         out["total_messages"] = self.total_messages
         out["total_bytes"] = self.total_bytes
         return out

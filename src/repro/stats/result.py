@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Optional
 
 from repro import units
 from repro.stats.counters import Counters
+from repro.trace.breakdown import TimeBreakdown
 
 
 @dataclass
@@ -21,6 +22,10 @@ class RunResult:
     counters: Counters
     app_output: Dict[str, Any] = field(default_factory=dict)
     params: Dict[str, Any] = field(default_factory=dict)
+    #: engine events processed (determinism fingerprint)
+    events: int = 0
+    #: per-processor/per-category cycle totals; None unless traced
+    breakdown: Optional[TimeBreakdown] = None
 
     @property
     def seconds(self) -> float:
@@ -48,7 +53,7 @@ class RunResult:
         return self.rate(self.counters.total_bytes) / 1024.0
 
     def summary(self) -> Dict[str, float]:
-        return {
+        s = {
             "machine": self.machine,
             "app": self.app,
             "nprocs": self.nprocs,
@@ -58,6 +63,9 @@ class RunResult:
             "messages_per_sec": self.messages_per_sec,
             "kbytes_per_sec": self.kbytes_per_sec,
         }
+        if self.breakdown is not None:
+            s.update(self.breakdown.summary_keys())
+        return s
 
 
 @dataclass

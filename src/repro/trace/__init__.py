@@ -1,0 +1,39 @@
+"""Execution tracing and time-breakdown accounting.
+
+The observability layer behind the paper's Figures 12-16: categorized
+spans/instants (:mod:`repro.trace.tracer`), exact per-processor cycle
+attribution (:mod:`repro.trace.breakdown`), Chrome-trace and metrics
+JSONL export (:mod:`repro.trace.export`), and process-wide collection
+scopes (:mod:`repro.trace.session`).
+
+Note: :mod:`repro.trace.opmap` (operation classification) is *not*
+imported here — it depends on the application layer, and this package
+must stay importable from :mod:`repro.sim.engine`.
+"""
+
+from repro.trace.breakdown import TimeBreakdown
+from repro.trace.export import (chrome_trace, metrics_record,
+                                read_metrics_jsonl, write_chrome_trace,
+                                write_metrics_jsonl)
+from repro.trace.session import (TraceSession, active_session,
+                                 trace_session)
+from repro.trace.tracer import (NULL_TRACER, Category, Instant,
+                                NullTracer, Span, Tracer)
+
+__all__ = [
+    "Category",
+    "Span",
+    "Instant",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TimeBreakdown",
+    "TraceSession",
+    "trace_session",
+    "active_session",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_record",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+]

@@ -1,0 +1,130 @@
+"""Per-processor, per-category cycle accounting (Figures 12-16 style).
+
+A :class:`TimeBreakdown` is built by the tracer from operation spans.
+Its *primary* table is an exact partition: for every processor, the
+``compute`` + ``miss`` + ``sync`` + ``idle`` cycles sum to the run's
+total cycles (``idle`` covers the tail between a processor finishing
+and the slowest processor finishing).  The *overlay* totals record
+``protocol`` and ``network`` detail cycles — handler CPU, wire
+occupancy — which overlap the primary timeline (a miss window
+*contains* protocol and network time) and are therefore reported
+alongside, not summed in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.tracer import Category
+
+
+class TimeBreakdown:
+    """Cycle totals per processor and category for one run."""
+
+    #: categories forming the exact per-processor partition
+    PRIMARY = ("compute", "miss", "sync", "idle")
+
+    def __init__(self) -> None:
+        # proc -> category value -> cycles
+        self.per_proc: Dict[int, Dict[str, int]] = {}
+        # overlapping detail totals (protocol / network)
+        self.overlay: Dict[str, int] = {}
+        self.total_cycles: int = 0
+        self.nprocs: int = 0
+
+    # ------------------------------------------------------------------
+    # accumulation (called by the tracer)
+    # ------------------------------------------------------------------
+    def add(self, proc: int, category: "Category", cycles: int) -> None:
+        """Attribute ``cycles`` of processor ``proc`` to ``category``."""
+        row = self.per_proc.get(proc)
+        if row is None:
+            row = {c: 0 for c in self.PRIMARY}
+            self.per_proc[proc] = row
+        key = category.value
+        row[key] = row.get(key, 0) + cycles
+
+    def add_overlay(self, category: "Category", cycles: int) -> None:
+        """Accumulate overlapping detail cycles (protocol/network)."""
+        key = category.value
+        self.overlay[key] = self.overlay.get(key, 0) + cycles
+
+    def close(self, total_cycles: int, nprocs: int,
+              proc_end: Dict[int, int]) -> None:
+        """Fill each processor's idle tail so rows sum to the total."""
+        self.total_cycles = int(total_cycles)
+        self.nprocs = nprocs
+        for proc in range(nprocs):
+            row = self.per_proc.get(proc)
+            if row is None:
+                row = {c: 0 for c in self.PRIMARY}
+                self.per_proc[proc] = row
+            row["idle"] = row.get("idle", 0) + (
+                self.total_cycles - proc_end.get(proc, 0))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def proc_total(self, proc: int) -> int:
+        """Sum of the processor's primary categories (== total cycles)."""
+        return sum(self.per_proc.get(proc, {}).values())
+
+    def category_totals(self) -> Dict[str, int]:
+        """Primary category cycles summed over all processors."""
+        totals: Dict[str, int] = {c: 0 for c in self.PRIMARY}
+        for row in self.per_proc.values():
+            for key, cycles in row.items():
+                totals[key] = totals.get(key, 0) + cycles
+        return totals
+
+    def fractions(self) -> Dict[str, float]:
+        """Fraction of aggregate processor time per primary category."""
+        totals = self.category_totals()
+        denom = sum(totals.values())
+        if denom <= 0:
+            return {c: 0.0 for c in totals}
+        return {c: v / denom for c, v in totals.items()}
+
+    def software_overhead_fraction(self) -> float:
+        """Fraction of processor time *not* spent computing.
+
+        The Figure 14-16 derived metric: everything charged to miss
+        handling, synchronization, or the idle tail is time the
+        software (or hardware) shared-memory implementation cost the
+        application.
+        """
+        totals = self.category_totals()
+        denom = sum(totals.values())
+        if denom <= 0:
+            return 0.0
+        return 1.0 - totals.get("compute", 0) / denom
+
+    # ------------------------------------------------------------------
+    def summary_keys(self) -> Dict[str, float]:
+        """Flat keys merged into :meth:`RunResult.summary`."""
+        out: Dict[str, float] = {}
+        for cat, frac in self.fractions().items():
+            out[f"frac.{cat}"] = frac
+        out["software_overhead_fraction"] = (
+            self.software_overhead_fraction())
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly full dump (metrics JSONL, tests)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "nprocs": self.nprocs,
+            "per_proc": {str(p): dict(row)
+                         for p, row in sorted(self.per_proc.items())},
+            "category_totals": self.category_totals(),
+            "overlay": dict(self.overlay),
+            "fractions": self.fractions(),
+            "software_overhead_fraction": (
+                self.software_overhead_fraction()),
+        }
+
+    def __repr__(self) -> str:
+        fracs = ", ".join(f"{c}={f:.2f}"
+                          for c, f in self.fractions().items())
+        return f"<TimeBreakdown {self.nprocs}p {fracs}>"

@@ -1,0 +1,165 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and metrics JSONL.
+
+Chrome traces load directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Timestamps are exported in microseconds of
+*simulated* time (cycles divided by the machine clock); each traced
+run becomes one "process" whose threads are the tracer's tracks
+(``p0`` .. ``pN`` for the processors, plus detail tracks such as
+``node0.sw`` or ``link2``).
+
+The metrics JSONL format is one JSON object per run — machine, app,
+processor count, cycles, the full counter dictionary, and (when
+tracing was on) the time breakdown — so benchmark results are
+machine-readable for trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.trace.tracer import Tracer
+
+
+# ======================================================================
+# Chrome trace_event export
+# ======================================================================
+def _cycles_to_us(cycles: int, clock_hz: Optional[float]) -> float:
+    if not clock_hz:
+        return float(cycles)
+    return cycles * 1e6 / clock_hz
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars (and friends) that json cannot encode."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(
+        f"object of type {type(value).__name__} is not JSON serializable")
+
+
+def chrome_events(tracer: Tracer, *, pid: int = 0,
+                  label: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Trace-event dicts for one tracer (one 'process')."""
+    clock = tracer.clock_hz
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": label or tracer.label},
+    }]
+
+    def tid_of(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids)
+            tids[track] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": tid, "args": {"name": track}})
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid,
+                "tid": tid, "args": {"sort_index": tid}})
+        return tid
+
+    # Pre-register processor tracks in order so p0..pN sort first.
+    for span in tracer.spans:
+        if span.track.startswith("p") and span.track[1:].isdigit():
+            tid_of(span.track)
+
+    body: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category.value,
+            "ph": "X",
+            "ts": _cycles_to_us(span.start, clock),
+            "dur": _cycles_to_us(span.duration, clock),
+            "pid": pid,
+            "tid": tid_of(span.track),
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        body.append(event)
+    for inst in tracer.instants:
+        event = {
+            "name": inst.name,
+            "cat": inst.category.value,
+            "ph": "i",
+            "s": "t",
+            "ts": _cycles_to_us(inst.ts, clock),
+            "pid": pid,
+            "tid": tid_of(inst.track),
+        }
+        if inst.args:
+            event["args"] = dict(inst.args)
+        body.append(event)
+    body.sort(key=lambda e: (e["tid"], e["ts"]))
+    return events + body
+
+
+def chrome_trace(tracers: Iterable[Tracer]) -> Dict[str, Any]:
+    """Merge traced runs into one Chrome trace document."""
+    events: List[Dict[str, Any]] = []
+    meta: List[Dict[str, Any]] = []
+    for pid, tracer in enumerate(tracers):
+        events.extend(chrome_events(tracer, pid=pid))
+        meta.append({"pid": pid, "label": tracer.label,
+                     "clock_hz": tracer.clock_hz,
+                     "total_cycles": tracer.total_cycles,
+                     **tracer.meta})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.trace", "runs": meta},
+    }
+
+
+def write_chrome_trace(path: str, tracers: Iterable[Tracer]) -> None:
+    """Write a merged Chrome trace JSON file."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracers), fh, default=_json_default)
+
+
+# ======================================================================
+# metrics JSONL export
+# ======================================================================
+def metrics_record(result: Any) -> Dict[str, Any]:
+    """One machine-readable record for a :class:`RunResult`."""
+    record: Dict[str, Any] = {
+        "machine": result.machine,
+        "app": result.app,
+        "nprocs": result.nprocs,
+        "cycles": result.cycles,
+        "seconds": result.seconds,
+        "events": result.events,
+        "params": dict(result.params),
+        "counters": result.counters.as_dict(),
+    }
+    if result.breakdown is not None:
+        record["breakdown"] = result.breakdown.as_dict()
+    return record
+
+
+def write_metrics_jsonl(path: str, results: Iterable[Any], *,
+                        append: bool = False) -> int:
+    """Write one JSON line per run; returns the number of lines."""
+    count = 0
+    with open(path, "a" if append else "w") as fh:
+        for result in results:
+            fh.write(json.dumps(metrics_record(result), sort_keys=True,
+                                default=_json_default) + "\n")
+            count += 1
+    return count
+
+
+def read_metrics_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a metrics JSONL file back into records."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

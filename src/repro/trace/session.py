@@ -1,0 +1,80 @@
+"""Trace sessions: collect every machine run inside a scope.
+
+Experiments call :meth:`Machine.run` internally, so tracing "fig3"
+cannot thread a tracer through the registry.  Instead, a
+:class:`TraceSession` installs itself as the process-wide active
+session; while it is active, every ``Machine.run`` that was not given
+an explicit tracer asks the session for one and reports its result
+back.  Sessions come in two flavours:
+
+* ``trace=True`` — every run gets a full tracer (spans kept); used by
+  ``repro-harness trace``.
+* ``trace=False`` — runs are merely *collected* (no tracer, zero
+  per-event overhead); used by ``repro-harness run --metrics-out``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.trace.tracer import Tracer
+
+_ACTIVE: Optional["TraceSession"] = None
+
+
+@dataclass
+class TracedRun:
+    """One collected run: the result plus its tracer (if traced)."""
+
+    result: Any            # RunResult (duck-typed to avoid a cycle)
+    tracer: Optional[Tracer]
+
+
+class TraceSession:
+    """Collects (result, tracer) pairs for every run in its scope."""
+
+    def __init__(self, *, trace: bool = True,
+                 keep_spans: bool = True) -> None:
+        self.trace = trace
+        self.keep_spans = keep_spans
+        self.runs: List[TracedRun] = []
+
+    def new_tracer(self, label: str) -> Optional[Tracer]:
+        """A tracer for the upcoming run (None in metrics-only mode)."""
+        if not self.trace:
+            return None
+        return Tracer(keep_spans=self.keep_spans, label=label)
+
+    def record(self, result: Any, tracer: Optional[Tracer]) -> None:
+        self.runs.append(TracedRun(result, tracer))
+
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> List[Any]:
+        return [run.result for run in self.runs]
+
+    @property
+    def tracers(self) -> List[Tracer]:
+        return [run.tracer for run in self.runs
+                if run.tracer is not None]
+
+
+def active_session() -> Optional[TraceSession]:
+    """The session currently collecting runs, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def trace_session(*, trace: bool = True,
+                  keep_spans: bool = True) -> Iterator[TraceSession]:
+    """Scope within which every machine run is collected (and traced)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    session = TraceSession(trace=trace, keep_spans=keep_spans)
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous

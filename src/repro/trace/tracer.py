@@ -1,0 +1,229 @@
+"""Execution tracing: spans, instants, and the paper's time taxonomy.
+
+The paper's evaluation (Figures 12-16) rests on knowing *where time
+goes*: computation vs. miss handling vs. synchronization vs. software
+protocol overhead.  A :class:`Tracer` records that attribution as it
+happens — *spans* (an interval of simulated time on a named track) and
+*instants* (point events) — without ever scheduling engine events, so
+tracing is pure observation: enabling it changes no simulated cycle
+count.
+
+Two recording layers cooperate:
+
+* **Operation spans** (:meth:`Tracer.begin_op` / :meth:`Tracer.end_op`)
+  partition each processor's timeline exactly: every cycle between a
+  task's start and finish belongs to the one operation the processor
+  was blocked on, categorized ``compute`` / ``miss`` / ``sync``.
+  These feed the :class:`~repro.trace.breakdown.TimeBreakdown`.
+* **Detail spans** (:meth:`Tracer.span` / :meth:`Tracer.complete` /
+  :meth:`Tracer.instant`) annotate what happened *inside* those
+  windows — diff creation, message handler CPU, wire occupancy — on
+  their own tracks (``node3.dsm``, ``node3.sw``, ``link3`` ...).
+  ``protocol`` and ``network`` detail spans also accumulate into the
+  breakdown's *overlay* totals (they overlap the op timeline, so they
+  are reported separately rather than summed into it).
+
+When tracing is off, call sites guard with ``if tracer.enabled:`` and
+the shared :data:`NULL_TRACER` singleton makes every method a no-op,
+so the disabled path costs one attribute test per call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.trace.breakdown import TimeBreakdown
+
+
+class Category(Enum):
+    """The paper's time/traffic taxonomy (Figures 12-16)."""
+
+    COMPUTE = "compute"    # application cycles
+    MISS = "miss"          # access misses: faults, fills, remote data
+    SYNC = "sync"          # locks, barriers, bound propagation
+    PROTOCOL = "protocol"  # software DSM CPU work (twin/diff/handlers)
+    NETWORK = "network"    # wire + switch occupancy
+    IDLE = "idle"          # finished early, waiting for the last proc
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval of simulated time on one track."""
+
+    track: str
+    proc: int
+    category: Category
+    name: str
+    start: int
+    end: int
+    args: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on one track."""
+
+    track: str
+    proc: int
+    category: Category
+    name: str
+    ts: int
+    args: Optional[Dict[str, Any]] = None
+
+
+class SpanHandle:
+    """An open span returned by :meth:`Tracer.span`; close with ``end``."""
+
+    __slots__ = ("_tracer", "track", "proc", "category", "name", "start")
+
+    def __init__(self, tracer: "Tracer", track: str, proc: int,
+                 category: Category, name: str, start: int) -> None:
+        self._tracer = tracer
+        self.track = track
+        self.proc = proc
+        self.category = category
+        self.name = name
+        self.start = start
+
+    def end(self, at: int, **args: Any) -> None:
+        """Close the span at simulated time ``at``."""
+        self._tracer.complete(self.proc, self.category, self.name,
+                              self.start, at, track=self.track, **args)
+
+
+class _NullSpanHandle:
+    """Shared no-op handle so disabled ``span()`` costs nothing."""
+
+    __slots__ = ()
+
+    def end(self, at: int, **args: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class Tracer:
+    """Collects spans/instants and accumulates the time breakdown.
+
+    ``keep_spans=False`` keeps only the :class:`TimeBreakdown`
+    accounting (cheap metrics mode); ``True`` also retains every event
+    for Chrome-trace export.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, *, keep_spans: bool = True,
+                 label: str = "run") -> None:
+        self.keep_spans = keep_spans
+        self.label = label
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.breakdown = TimeBreakdown()
+        self.meta: Dict[str, Any] = {}
+        self.clock_hz: Optional[float] = None
+        self.total_cycles: int = 0
+        # proc -> (category, name, start) of the operation in flight
+        self._open_ops: Dict[int, tuple] = {}
+        self._proc_end: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # operation attribution (exact per-processor partition)
+    # ------------------------------------------------------------------
+    def begin_op(self, proc: int, category: Category, name: str,
+                 at: int) -> None:
+        """The processor blocked on an operation at time ``at``."""
+        if proc in self._open_ops:       # defensive: never lose cycles
+            self.end_op(proc, at)
+        self._open_ops[proc] = (category, name, at)
+
+    def end_op(self, proc: int, at: int) -> None:
+        """The pending operation (if any) completed at time ``at``."""
+        open_op = self._open_ops.pop(proc, None)
+        if open_op is None:
+            return
+        category, name, start = open_op
+        self.breakdown.add(proc, category, at - start)
+        self._proc_end[proc] = at
+        if self.keep_spans and at > start:
+            self.spans.append(Span(f"p{proc}", proc, category, name,
+                                   start, at))
+
+    # ------------------------------------------------------------------
+    # detail spans and instants
+    # ------------------------------------------------------------------
+    def span(self, proc: int, category: Category, name: str,
+             start: int, *, track: Optional[str] = None) -> SpanHandle:
+        """Open a detail span; close it with ``handle.end(at)``."""
+        return SpanHandle(self, track or f"p{proc}", proc, category,
+                          name, start)
+
+    def complete(self, proc: int, category: Category, name: str,
+                 start: int, end: int, *,
+                 track: Optional[str] = None, **args: Any) -> None:
+        """Record a detail span whose interval is already known."""
+        if category is Category.PROTOCOL or category is Category.NETWORK:
+            self.breakdown.add_overlay(category, end - start)
+        if self.keep_spans:
+            self.spans.append(Span(track or f"p{proc}", proc, category,
+                                   name, start, end, args or None))
+
+    def instant(self, proc: int, category: Category, name: str,
+                ts: int, *, track: Optional[str] = None,
+                **args: Any) -> None:
+        """Record a point event."""
+        if self.keep_spans:
+            self.instants.append(Instant(track or f"p{proc}", proc,
+                                         category, name, ts,
+                                         args or None))
+
+    # ------------------------------------------------------------------
+    def finish(self, total_cycles: int, nprocs: int,
+               clock_hz: float, **meta: Any) -> TimeBreakdown:
+        """Close out the run: flush open ops, fill idle, store metadata."""
+        for proc in list(self._open_ops):
+            self.end_op(proc, total_cycles)
+        self.total_cycles = total_cycles
+        self.clock_hz = clock_hz
+        self.meta["nprocs"] = nprocs
+        self.meta.update(meta)
+        self.breakdown.close(total_cycles, nprocs, self._proc_end)
+        return self.breakdown
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(keep_spans=False, label="null")
+
+    def begin_op(self, proc, category, name, at):  # pragma: no cover
+        pass
+
+    def end_op(self, proc, at):
+        pass
+
+    def span(self, proc, category, name, start, *, track=None):
+        return _NULL_SPAN
+
+    def complete(self, proc, category, name, start, end, *,
+                 track=None, **args):
+        pass
+
+    def instant(self, proc, category, name, ts, *, track=None, **args):
+        pass
+
+    def finish(self, total_cycles, nprocs, clock_hz, **meta):
+        return None
+
+
+#: Shared singleton used wherever no tracer was supplied.
+NULL_TRACER = NullTracer()

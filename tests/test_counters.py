@@ -49,3 +49,21 @@ def test_as_dict_roundtrip():
 def test_fresh_counters_all_zero():
     d = Counters().as_dict()
     assert all(v == 0 for v in d.values())
+
+
+def test_as_dict_covers_every_field():
+    """Every dataclass field appears in as_dict — scalar fields under
+    their own name, dict fields flattened with msg./bytes. prefixes —
+    so new counters can never be silently dropped from reports."""
+    import dataclasses
+
+    c = Counters()
+    d = c.as_dict()
+    for f in dataclasses.fields(c):
+        value = getattr(c, f.name)
+        if isinstance(value, dict):
+            prefix = "msg." if f.name == "messages" else "bytes."
+            for key in value:
+                assert f"{prefix}{key.value}" in d, (f.name, key)
+        else:
+            assert f.name in d, f.name

@@ -64,6 +64,75 @@ def test_run_until_stops_early():
     assert seen == ["early", "late"]
 
 
+def test_run_until_pinned_semantics():
+    """The documented ``until`` contract, pinned in full:
+
+    the stop leaves ``now`` exactly at the horizon, the first
+    strictly-later event queued (not popped), and the engine
+    re-runnable — repeatedly.
+    """
+    engine = Engine()
+    seen = []
+    engine.schedule(100, seen.append, "late")
+    engine.run(until=50)
+    assert engine.now == 50
+    assert seen == []
+    assert not engine.empty()          # the event was not consumed
+    engine.run(until=99)               # re-runnable to a later horizon
+    assert engine.now == 99
+    assert seen == []
+    engine.run(until=100)
+    assert seen == ["late"]
+
+
+def test_run_until_event_at_horizon_runs():
+    engine = Engine()
+    seen = []
+    engine.schedule(50, seen.append, "at-horizon")
+    engine.schedule(51, seen.append, "after")
+    engine.run(until=50)
+    assert seen == ["at-horizon"]
+    assert engine.now == 50
+
+
+def test_deadlock_detected_even_with_until():
+    """A drained queue with blocked tasks is a deadlock regardless of
+    whether a horizon was given (stopping *at* the horizon is not)."""
+    engine = Engine()
+
+    class NeverResume(OpHandler):
+        def handle(self, task, op):
+            pass
+
+    def prog():
+        yield "op"
+
+    task = ProcTask(engine, 0, prog(), NeverResume())
+    task.start()
+    # The queue drains (the only event is the task's first step at 0)
+    # long before the horizon: that is a genuine deadlock.
+    with pytest.raises(DeadlockError):
+        engine.run(until=10_000)
+
+
+def test_no_deadlock_when_stopped_at_horizon():
+    engine = Engine()
+
+    class ResumeLater(OpHandler):
+        def handle(self, task, op):
+            task.resume(engine.now + 100)
+
+    def prog():
+        yield "op"
+
+    task = ProcTask(engine, 0, prog(), ResumeLater())
+    task.start()
+    engine.run(until=50)  # task still blocked, but only at the horizon
+    assert not task.finished
+    engine.run()
+    assert task.finished
+
+
 def test_deadlock_detection():
     engine = Engine()
 

@@ -1,0 +1,228 @@
+"""The tracing/breakdown layer: determinism, accounting, exporters."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.workloads import Scale, make_app
+from repro.machines.all_hardware import AllHardwareMachine
+from repro.machines.dec_treadmarks import DecTreadMarksMachine
+from repro.machines.sgi import SgiMachine
+from repro.trace import (NULL_TRACER, Tracer, active_session,
+                         chrome_trace, read_metrics_jsonl, trace_session,
+                         write_chrome_trace, write_metrics_jsonl)
+from repro.trace.tracer import Category
+
+
+def _run(machine, app_name, nprocs, scale=Scale.TEST, tracer=None):
+    return machine.run(make_app(app_name, scale), nprocs, tracer=tracer)
+
+
+# ======================================================================
+# tracing is pure observation
+# ======================================================================
+def test_tracing_does_not_change_simulation_bench_scale():
+    """Bench-scale SOR: tracing on vs off must give identical simulated
+    cycles AND identical engine event counts (the determinism
+    fingerprint) — tracing never schedules events."""
+    machine = DecTreadMarksMachine()
+    plain = _run(machine, "sor_small", 4, scale=Scale.BENCH)
+    traced = _run(machine, "sor_small", 4, scale=Scale.BENCH,
+                  tracer=Tracer())
+    assert traced.cycles == plain.cycles
+    assert traced.events == plain.events
+
+
+@pytest.mark.parametrize("machine_cls", [DecTreadMarksMachine, SgiMachine,
+                                         AllHardwareMachine])
+@pytest.mark.parametrize("app_name", ["sor_small", "tsp18"])
+def test_tracing_does_not_change_simulation(machine_cls, app_name):
+    plain = _run(machine_cls(), app_name, 4)
+    traced = _run(machine_cls(), app_name, 4, tracer=Tracer())
+    assert traced.cycles == plain.cycles
+    assert traced.events == plain.events
+
+
+def test_untraced_run_has_no_breakdown():
+    result = _run(DecTreadMarksMachine(), "sor_small", 2)
+    assert result.breakdown is None
+    assert "frac.compute" not in result.summary()
+
+
+# ======================================================================
+# breakdown accounting
+# ======================================================================
+@pytest.mark.parametrize("machine_cls", [DecTreadMarksMachine, SgiMachine])
+def test_breakdown_sums_to_total_cycles(machine_cls):
+    """Each processor's primary categories (compute/miss/sync/idle)
+    partition its timeline exactly: they sum to the run's cycle count
+    for both a software-DSM and a hardware machine."""
+    nprocs = 4
+    result = _run(machine_cls(), "sor_small", nprocs, tracer=Tracer())
+    b = result.breakdown
+    assert b is not None
+    assert b.nprocs == nprocs
+    for proc in range(nprocs):
+        assert b.proc_total(proc) == result.cycles
+    fractions = b.fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert 0.0 <= b.software_overhead_fraction() <= 1.0
+
+
+def test_breakdown_overlay_separate_from_primary():
+    """Protocol/network detail spans overlap the op timeline, so they
+    live in the overlay, never in the per-proc partition."""
+    result = _run(DecTreadMarksMachine(), "sor_small", 4, tracer=Tracer())
+    b = result.breakdown
+    assert b.overlay.get("protocol", 0) > 0
+    assert b.overlay.get("network", 0) > 0
+    for row in b.per_proc.values():
+        assert "protocol" not in row
+        assert "network" not in row
+
+
+def test_breakdown_in_summary_keys():
+    result = _run(DecTreadMarksMachine(), "sor_small", 4, tracer=Tracer())
+    summary = result.summary()
+    for cat in ("compute", "miss", "sync", "idle"):
+        assert f"frac.{cat}" in summary
+    assert "software_overhead_fraction" in summary
+
+
+def test_software_machine_has_more_overhead_than_hardware():
+    """The paper's central comparison: at 4+ processors the software
+    DSM spends a larger fraction outside compute than the bus machine."""
+    sw = _run(DecTreadMarksMachine(), "sor_small", 4, tracer=Tracer())
+    hw = _run(SgiMachine(), "sor_small", 4, tracer=Tracer())
+    assert (sw.breakdown.software_overhead_fraction() >
+            hw.breakdown.software_overhead_fraction())
+
+
+# ======================================================================
+# disabled tracer
+# ======================================================================
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    NULL_TRACER.begin_op(0, Category.COMPUTE, "x", 0)
+    NULL_TRACER.end_op(0, 10)
+    NULL_TRACER.complete(0, Category.PROTOCOL, "y", 0, 5)
+    NULL_TRACER.instant(0, Category.SYNC, "z", 3)
+    NULL_TRACER.span(0, Category.MISS, "w", 0).end(9)
+    assert NULL_TRACER.spans == []
+    assert NULL_TRACER.instants == []
+    assert NULL_TRACER.finish(100, 1, 1e6) is None
+    assert NULL_TRACER.breakdown.per_proc == {}
+
+
+# ======================================================================
+# Chrome trace export
+# ======================================================================
+def test_chrome_trace_roundtrips_and_is_monotone(tmp_path):
+    tracer = Tracer()
+    _run(DecTreadMarksMachine(), "sor_small", 4, tracer=tracer)
+    path = tmp_path / "run.trace.json"
+    write_chrome_trace(str(path), [tracer])
+
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert events, "trace must contain events"
+    assert doc["otherData"]["runs"][0]["machine"] == "treadmarks"
+
+    # Spans per (pid, tid) must have monotonically non-decreasing ts.
+    last_ts = {}
+    for event in events:
+        if event["ph"] not in ("X", "i"):
+            continue
+        key = (event["pid"], event["tid"])
+        assert event["ts"] >= last_ts.get(key, float("-inf"))
+        last_ts[key] = event["ts"]
+    # Complete events carry non-negative durations.
+    assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
+
+
+def test_chrome_trace_track_metadata():
+    tracer = Tracer()
+    _run(DecTreadMarksMachine(), "sor_small", 2, tracer=tracer)
+    doc = chrome_trace([tracer])
+    names = [e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert "p0" in names and "p1" in names
+    assert any(n.startswith("node") for n in names)
+
+
+# ======================================================================
+# metrics JSONL export
+# ======================================================================
+def test_metrics_jsonl_roundtrip(tmp_path):
+    results = [
+        _run(DecTreadMarksMachine(), "sor_small", 2, tracer=Tracer()),
+        _run(SgiMachine(), "sor_small", 2),
+    ]
+    path = tmp_path / "metrics.jsonl"
+    assert write_metrics_jsonl(str(path), results) == 2
+
+    records = read_metrics_jsonl(str(path))
+    assert len(records) == 2
+    traced, untraced = records
+    assert traced["machine"] == "treadmarks"
+    assert traced["cycles"] == results[0].cycles
+    assert "breakdown" in traced
+    assert traced["breakdown"]["total_cycles"] == results[0].cycles
+    assert "breakdown" not in untraced
+    assert untraced["counters"]["cache_hits"] > 0
+
+
+# ======================================================================
+# trace sessions
+# ======================================================================
+def test_trace_session_collects_runs():
+    assert active_session() is None
+    with trace_session() as session:
+        assert active_session() is session
+        _run(DecTreadMarksMachine(), "sor_small", 2)
+        _run(SgiMachine(), "sor_small", 2)
+    assert active_session() is None
+    assert len(session.runs) == 2
+    assert len(session.tracers) == 2
+    assert all(r.breakdown is not None for r in session.results)
+
+
+def test_metrics_only_session_creates_no_tracers():
+    with trace_session(trace=False) as session:
+        result = _run(DecTreadMarksMachine(), "sor_small", 2)
+    assert session.results == [result]
+    assert session.tracers == []
+    assert result.breakdown is None
+
+
+def test_explicit_tracer_wins_over_session():
+    mine = Tracer(label="mine")
+    with trace_session() as session:
+        _run(DecTreadMarksMachine(), "sor_small", 2, tracer=mine)
+    assert session.tracers == [mine]
+
+
+# ======================================================================
+# CLI integration
+# ======================================================================
+def test_cli_trace_writes_valid_chrome_trace(tmp_path):
+    out = tmp_path / "fig3.trace.json"
+    rc = cli_main(["trace", "fig3", "--scale", "test",
+                   "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert len(doc["traceEvents"]) > 0
+    assert len(doc["otherData"]["runs"]) == 8  # 2 machines x 4 sizes
+
+
+def test_cli_run_metrics_out(tmp_path):
+    out = tmp_path / "metrics.jsonl"
+    rc = cli_main(["run", "t1", "--scale", "test",
+                   "--metrics-out", str(out)])
+    assert rc == 0
+    records = read_metrics_jsonl(str(out))
+    assert records
+    for rec in records:
+        assert {"machine", "app", "nprocs", "cycles",
+                "counters"} <= set(rec)
