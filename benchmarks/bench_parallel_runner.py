@@ -1,0 +1,107 @@
+"""Wall-clock benefit of the parallel runner and the result cache.
+
+Executes the Figure-3-style grid (TreadMarks vs SGI, SOR, 1-8
+processors) in four configurations:
+
+* ``serial``   — ``jobs=1``, no cache (the pre-parallel baseline),
+* ``pool``     — ``jobs=4`` process-pool fan-out, no cache,
+* ``cold``     — ``jobs=4`` writing a fresh content-addressed cache,
+* ``warm``     — same grid again, served entirely from that cache.
+
+Every configuration must produce identical summaries — the runner's
+determinism contract — and the script asserts it before reporting.
+
+Honest-numbers note: pool speedup scales with *available cores*, so
+``cpu_count`` is recorded in the report.  On a single-core container
+the pool adds process-spawn overhead instead of helping; the warm
+cache is the configuration whose speedup is hardware-independent
+(near-zero simulated work — the acceptance bar).
+
+Writes ``BENCH_parallel_runner.json`` at the repo root.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import RunPlan, execute_plan
+from repro.harness.workloads import Scale, make_app
+from repro.machines.dec_treadmarks import DecTreadMarksMachine
+from repro.machines.sgi import SgiMachine
+
+POOL_JOBS = 4
+PROCS = (1, 2, 4, 8)
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_parallel_runner.json")
+
+
+def build_plan() -> RunPlan:
+    plan = RunPlan()
+    for machine_cls in (DecTreadMarksMachine, SgiMachine):
+        for p in PROCS:
+            plan.add(machine_cls(), make_app("sor_small", Scale.BENCH), p)
+    return plan
+
+
+def timed(jobs: int, cache) -> tuple:
+    start = time.perf_counter()
+    results = execute_plan(build_plan(), jobs=jobs, cache=cache)
+    return time.perf_counter() - start, [r.summary() for r in results]
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    try:
+        seconds = {}
+        summaries = {}
+        seconds["serial"], summaries["serial"] = timed(1, None)
+        seconds["pool"], summaries["pool"] = timed(POOL_JOBS, None)
+        cache = ResultCache(cache_dir)
+        seconds["cold"], summaries["cold"] = timed(POOL_JOBS, cache)
+        cold_stats = dict(cache.stats())
+        seconds["warm"], summaries["warm"] = timed(POOL_JOBS, cache)
+        warm_stats = {k: v - cold_stats[k]
+                      for k, v in cache.stats().items()}
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if any(s != summaries["serial"] for s in summaries.values()):
+        raise AssertionError("configurations disagree on summaries")
+    if warm_stats["misses"] or warm_stats["stores"]:
+        raise AssertionError(f"warm pass was not all-hits: {warm_stats}")
+
+    report = {
+        "grid": "fig3-style: (treadmarks, sgi) x sor_small x "
+                f"procs {list(PROCS)}, scale bench",
+        "runs": len(build_plan()),
+        "pool_jobs": POOL_JOBS,
+        "cpu_count": os.cpu_count(),
+        "seconds": {k: round(v, 4) for k, v in seconds.items()},
+        "speedup_vs_serial": {
+            k: round(seconds["serial"] / v, 2)
+            for k, v in seconds.items() if k != "serial"},
+        "cold_cache_stats": cold_stats,
+        "warm_cache_stats": warm_stats,
+        "determinism": "all configurations produced identical summaries",
+    }
+    for key, secs in seconds.items():
+        print(f"{key:8s} {secs:8.3f}s  "
+              f"(x{seconds['serial'] / secs:.2f} vs serial)")
+    print(f"cold cache: {cold_stats}; warm cache: {warm_stats}")
+
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,18 @@ Usage::
 
     repro-harness list
     repro-harness run t1 fig3 --scale bench
-    repro-harness run all --scale test --metrics-out metrics.jsonl
+    repro-harness run all --scale test --jobs 4
+    repro-harness run fig3 --metrics-out metrics.jsonl --no-cache
+    repro-harness validate --jobs 0            # 0 = all cores
     repro-harness trace fig3 --scale test
+
+``run`` and ``validate`` fan independent simulations out over ``--jobs``
+worker processes and reuse results from the content-addressed cache
+(``--cache-dir``, default ``.repro-cache`` or ``$REPRO_CACHE_DIR``);
+``--no-cache`` forces fresh simulation.  Both accelerations are
+guaranteed not to change any number (see ``repro.harness.parallel``).
+``trace`` always simulates serially and afresh — spans must be
+collected live in-process.
 """
 
 from __future__ import annotations
@@ -16,8 +26,10 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.experiments import (REGISTRY, Scale, list_experiments,
                                        run_experiment)
+from repro.harness.parallel import run_context
 from repro.trace import (trace_session, write_chrome_trace,
                          write_metrics_jsonl)
 
@@ -43,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write one metrics JSON line per "
                              "machine run (machine, app, cycles, "
                              "counters)")
+    _add_exec_options(runner)
     runner.set_defaults(func=cmd_run)
 
     tracer = sub.add_parser(
@@ -66,8 +79,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate the paper's shape claims as PASS/FAIL checks")
     validator.add_argument("--scale", choices=[s.value for s in Scale],
                            default=Scale.BENCH.value)
+    _add_exec_options(validator)
     validator.set_defaults(func=cmd_validate)
     return parser
+
+
+def _add_exec_options(sub: argparse.ArgumentParser) -> None:
+    """--jobs / --cache-dir / --no-cache, shared by run and validate."""
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="run up to N independent simulations in "
+                          "parallel worker processes (0 = all cores; "
+                          "default: 1)")
+    sub.add_argument("--cache-dir", metavar="PATH", default=None,
+                     help="content-addressed result cache directory "
+                          "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="simulate every point afresh, and store "
+                          "nothing")
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _report_cache(cache: Optional[ResultCache]) -> None:
+    if cache is not None:
+        print(cache.format_stats())
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -93,6 +132,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     ids = _resolve_ids(args.ids)
     if ids is None:
         return 2
+    cache = _make_cache(args)
 
     def run_all() -> None:
         for exp_id in ids:
@@ -105,15 +145,19 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"expected shape: {REGISTRY[exp_id].shape_note}]")
             print()
 
-    if args.metrics_out:
-        # Metrics-only session: collects every run with zero per-event
-        # overhead (no tracers are created).
-        with trace_session(trace=False) as session:
+    with run_context(jobs=args.jobs, cache=cache):
+        if args.metrics_out:
+            # Metrics-only session: collects every run with zero
+            # per-event overhead (no tracers are created).
+            with trace_session(trace=False) as session:
+                run_all()
+            lines = write_metrics_jsonl(args.metrics_out,
+                                        session.results)
+            print(f"wrote {lines} metrics records to "
+                  f"{args.metrics_out}")
+        else:
             run_all()
-        lines = write_metrics_jsonl(args.metrics_out, session.results)
-        print(f"wrote {lines} metrics records to {args.metrics_out}")
-    else:
-        run_all()
+    _report_cache(cache)
     return 0
 
 
@@ -162,9 +206,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validate import format_results, run_validation
-    results = run_validation(Scale(args.scale))
+    cache = _make_cache(args)
+    with run_context(jobs=args.jobs, cache=cache):
+        results = run_validation(Scale(args.scale))
     for line in format_results(results):
         print(line)
+    _report_cache(cache)
     return 0 if all(ok for _c, ok in results) else 1
 
 

@@ -14,12 +14,14 @@ from typing import Callable, Dict, List
 
 from repro.errors import ConfigurationError
 from repro.harness import fmt
+from repro.harness.parallel import RunPlan, execute_plan, run_grid
 from repro.harness.runner import compare_machines, speedup_series
 from repro.harness.workloads import (EXPERIMENTAL_PROCS, SIMULATED_PROCS,
                                      Scale, make_app)
 from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
                             DecTreadMarksMachine, HybridMachine, SgiMachine)
 from repro.net.overhead import OVERHEAD_SWEEP
+from repro.stats.result import SpeedupSeries
 
 
 @dataclass
@@ -81,12 +83,15 @@ SIM_WORKLOADS = ("sor_sim", "tsp19", "mwater")
 def run_t1(scale: Scale) -> Report:
     tm = DecTreadMarksMachine()
     sgi = SgiMachine()
+    apps = {name: make_app(name, scale) for name in ALL_WORKLOADS}
+    runs = run_grid(
+        [(f"tm/{name}", tm, app, 1) for name, app in apps.items()] +
+        [(f"sgi/{name}", sgi, app, 1) for name, app in apps.items()])
     rows = []
     data = {}
-    for name in ALL_WORKLOADS:
-        app = make_app(name, scale)
-        t_tm = tm.run(app, 1).seconds
-        t_sgi = sgi.run(app, 1).seconds
+    for name, app in apps.items():
+        t_tm = runs[f"tm/{name}"].seconds
+        t_sgi = runs[f"sgi/{name}"].seconds
         # At one node TreadMarks engages no remote machinery, so the
         # plain-DEC and DEC+TreadMarks columns coincide (the paper
         # measured the same to within noise).
@@ -105,11 +110,12 @@ def run_t1(scale: Scale) -> Report:
            "ILINK-BAD >> ILINK-CLP in barrier and message rates.")
 def run_t2(scale: Scale) -> Report:
     tm = DecTreadMarksMachine()
+    apps = {name: make_app(name, scale) for name in ALL_WORKLOADS}
+    runs = run_grid([(name, tm, app, 8) for name, app in apps.items()])
     rows = []
     data = {}
-    for name in ALL_WORKLOADS:
-        app = make_app(name, scale)
-        r = tm.run(app, 8)
+    for name, app in apps.items():
+        r = runs[name]
         rows.append([app.name, r.barriers_per_sec, r.remote_locks_per_sec,
                      r.messages_per_sec, r.kbytes_per_sec])
         data[name] = r.summary()
@@ -215,13 +221,15 @@ def _traffic_runs(scale: Scale):
     if cached is not None:
         return cached
     procs = max(SIMULATED_PROCS[scale])
-    out = {}
+    entries = []
     for workload in SIM_WORKLOADS:
         app = make_app(workload, scale)
-        out[workload] = {
-            "as": AllSoftwareMachine().run(app, procs),
-            "hs": HybridMachine().run(app, procs),
-        }
+        entries.append((f"as/{workload}", AllSoftwareMachine(), app, procs))
+        entries.append((f"hs/{workload}", HybridMachine(), app, procs))
+    runs = run_grid(entries)
+    out = {workload: {"as": runs[f"as/{workload}"],
+                      "hs": runs[f"hs/{workload}"]}
+           for workload in SIM_WORKLOADS}
     _TRAFFIC_CACHE[scale] = (procs, out)
     return procs, out
 
@@ -296,18 +304,30 @@ def run_fig13(scale: Scale) -> Report:
 def _overhead_sweep(exp_id: str, workload: str, hybrid: bool,
                     scale: Scale) -> Report:
     procs = SIMULATED_PROCS[scale]
-    speedups: Dict[str, Dict[int, float]] = {}
+    app = make_app(workload, scale)
+    # One plan for the full (preset x processor-count) grid; the
+    # sweep points fan out together and the shared 1-proc baseline
+    # (AS presets only differ in messaging overheads) runs once.
+    plan = RunPlan()
+    layout = []
     for preset in OVERHEAD_SWEEP:
         if hybrid:
             machine = HybridMachine(
                 HybridMachine().params.with_overhead(preset))
         else:
             machine = AllSoftwareMachine(overhead_preset=preset)
-        app = make_app(workload, scale)
-        series = speedup_series(machine, app, (1,) + tuple(procs))
+        indices = plan.add_series(machine, app, (1,) + tuple(procs))
         ov = preset.build()
         label = (f"fixed={ov.fixed_send_cycles}"
                  f",word={ov.per_word_cycles}")
+        layout.append((label, machine, indices))
+    results = execute_plan(plan)
+    speedups: Dict[str, Dict[int, float]] = {}
+    for label, machine, indices in layout:
+        base = results[indices[0]]
+        series = SpeedupSeries(machine.name, app.name, base.seconds)
+        for index in indices:
+            series.add(results[index])
         speedups[label] = series.speedups()
     arch = "HS" if hybrid else "AS"
     report = Report(exp_id, f"{workload} on {arch}, software-overhead "

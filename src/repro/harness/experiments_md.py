@@ -3,19 +3,27 @@
 Reads ``benchmarks/results/<exp_id>.txt`` (written by the benchmark
 suite) and pairs each regenerated artifact with the paper's claim,
 producing the paper-vs-measured record the reproduction promises.
+The file opens with a mapping table (paper artifact -> experiment id
+-> machines -> workloads -> validate checks) assembled from the
+experiment registry and :data:`repro.harness.validate.CHECKS`.
 
-Usage::
+EXPERIMENTS.md is generated — edit this module (claims, the mapping,
+the deviations list), re-run the benchmark suite if results changed,
+then regenerate with::
 
-    python -m repro.harness.experiments_md [results_dir] [output_md]
+    PYTHONPATH=src python -m repro.harness.experiments_md [results_dir] [output_md]
+
+(defaults: ``benchmarks/results`` and ``EXPERIMENTS.md``).
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.harness.experiments import list_experiments
+from repro.harness.validate import CHECKS
 
 #: What the paper reports for each artifact.  Absolute numbers are
 #: OCR-elided in our source text, so claims are stated as the shape
@@ -90,6 +98,67 @@ PAPER_CLAIMS: Dict[str, str] = {
 }
 
 
+#: (machines, workloads) per experiment — the run grid each artifact
+#: declares, kept in sync with :mod:`repro.harness.experiments`.
+RUN_GRIDS: Dict[str, Tuple[str, str]] = {
+    "t1": ("TreadMarks, SGI (1 proc)", "all eight workloads"),
+    "t2": ("TreadMarks (8 procs)", "all eight workloads"),
+    "fig1": ("TreadMarks vs SGI", "ilink_clp"),
+    "fig2": ("TreadMarks vs SGI", "ilink_bad"),
+    "fig3": ("TreadMarks vs SGI", "sor_large"),
+    "fig4": ("TreadMarks vs SGI", "sor_small"),
+    "fig5": ("TreadMarks vs SGI", "tsp19"),
+    "fig6": ("TreadMarks vs SGI", "tsp18"),
+    "fig7": ("TreadMarks vs SGI", "water"),
+    "fig8": ("TreadMarks vs SGI", "mwater"),
+    "fig9": ("AH, HS, AS", "sor_sim"),
+    "fig10": ("AH, HS, AS", "tsp19"),
+    "fig11": ("AH, HS, AS", "mwater"),
+    "fig12": ("AS vs HS (largest machine)", "sor_sim, tsp19, mwater"),
+    "fig13": ("AS vs HS (largest machine)", "sor_sim, tsp19, mwater"),
+    "fig14": ("AS x overhead presets", "sor_sim"),
+    "fig15": ("AS x overhead presets", "mwater"),
+    "fig16": ("HS x overhead presets", "mwater"),
+    "x1": ("TreadMarks (lazy, eager bound lock), SGI", "tsp19"),
+    "x2": ("TreadMarks (user, kernel), SGI",
+           "sor_small, ilink_clp, tsp19, mwater"),
+    "x3": ("TreadMarks vs SGI", "sor_large, sor_alldirty"),
+    "x4": ("TreadMarks (user, kernel)", "sync micro-benchmarks"),
+    "a1": ("TreadMarks (diffs on/off)", "sor_small, mwater"),
+    "a2": ("TreadMarks (lazy, eager)", "tsp19, mwater, sor_small"),
+    "a3": ("HS (1-16 procs/node)", "sor_small, mwater"),
+}
+
+
+def _mapping_table() -> list:
+    """Paper artifact -> experiment -> grid -> shape-check mapping."""
+    lines = [
+        "## Figure-to-experiment map",
+        "",
+        "Run any row with `repro-harness run <exp id>`; the checks "
+        "column names",
+        "the PASS/FAIL claims `repro-harness validate` evaluates for "
+        "that",
+        "experiment (defined in `repro.harness.validate`).",
+        "",
+        "| paper artifact | exp id | machines | workloads | claimed "
+        "shape | validate checks |",
+        "|---|---|---|---|---|---|",
+    ]
+    checks_by_exp: Dict[str, list] = {}
+    for check in CHECKS:
+        checks_by_exp.setdefault(check.exp_id, []).append(check.name)
+    for exp in list_experiments():
+        machines, workloads = RUN_GRIDS.get(exp.exp_id, ("—", "—"))
+        checks = ", ".join(
+            f"`{name}`" for name in checks_by_exp.get(exp.exp_id, []))
+        lines.append(
+            f"| {exp.paper_ref} | `{exp.exp_id}` | {machines} "
+            f"| {workloads} | {exp.shape_note} | {checks or '—'} |")
+    lines.append("")
+    return lines
+
+
 def build(results_dir: str) -> str:
     lines = [
         "# EXPERIMENTS — paper vs. measured",
@@ -105,7 +174,13 @@ def build(results_dir: str) -> str:
         "and the measured *shape*.  Known deviations are called out "
         "inline.",
         "",
+        "This file is generated — edit "
+        "`src/repro/harness/experiments_md.py` and",
+        "regenerate with `PYTHONPATH=src python -m "
+        "repro.harness.experiments_md`.",
+        "",
     ]
+    lines.extend(_mapping_table())
     for exp in list_experiments():
         lines.append(f"## {exp.exp_id} — {exp.title} ({exp.paper_ref})")
         lines.append("")

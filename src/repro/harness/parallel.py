@@ -1,0 +1,263 @@
+"""Parallel, cached execution of independent simulation runs.
+
+The paper's figures are sweeps — one run per (machine, workload,
+processor count) — and every run is independent and deterministic.
+This module turns a declared grid (:class:`RunPlan`) into results with
+three orthogonal accelerations, none of which may change a single
+number:
+
+* **fan-out** — independent runs execute in a process pool
+  (``jobs > 1``); results are merged back in plan order, so output is
+  byte-identical to a serial execution;
+* **dedup** — specs with the same content address
+  (:func:`~repro.harness.cache.run_key`) execute once per plan; this
+  is how a speedup series reuses its 1-processor baseline, and how
+  software-DSM variants (user/kernel-level, lazy/eager, diff/nodiff)
+  share one baseline run between *machines*;
+* **cache** — a :class:`~repro.harness.cache.ResultCache` skips
+  already-simulated points across invocations.
+
+Determinism contract
+--------------------
+
+``execute_plan(plan, jobs=1)``, ``execute_plan(plan, jobs=N)`` and a
+warm-cache execution all return results whose ``summary()``
+dictionaries — and derived speedups — are identical (pinned by
+``tests/test_parallel.py``).  The only rewrite the layer ever performs
+is the machine *display name* on a shared result (a cached TreadMarks
+baseline returned for the kernel-level variant reports the variant's
+name, exactly as a fresh run would have).
+
+Tracing interacts specially: inside a ``trace_session(trace=True)``
+scope, spans must be collected live in this process, so plans execute
+serially and bypass the cache (the deduplicated work list is
+unchanged, keeping traced and untraced run counts equal).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.apps.base import Application
+from repro.harness.cache import ResultCache, run_key
+from repro.machines.base import Machine
+from repro.stats.result import RunResult
+from repro.trace import session as trace_session
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation point: an app on a machine at a processor count."""
+
+    machine: Machine
+    app: Application
+    nprocs: int
+    seed: int = 42
+    params: Optional[Dict[str, Any]] = None
+
+    def key(self) -> str:
+        """The spec's content address (dedup + cache lookup)."""
+        return run_key(self.machine, self.app, self.nprocs,
+                       seed=self.seed, params=self.params)
+
+
+@dataclass
+class RunPlan:
+    """An ordered grid of runs; indices are stable result handles."""
+
+    specs: List[RunSpec] = field(default_factory=list)
+
+    def add(self, machine: Machine, app: Application, nprocs: int, *,
+            seed: int = 42,
+            params: Optional[Dict[str, Any]] = None) -> int:
+        """Append one run; returns its index into the results list."""
+        self.specs.append(RunSpec(machine, app, nprocs,
+                                  seed=seed, params=params))
+        return len(self.specs) - 1
+
+    def add_series(self, machine: Machine, app: Application,
+                   procs: Sequence[int], *, seed: int = 42,
+                   params: Optional[Dict[str, Any]] = None) -> List[int]:
+        """Append one run per processor count; returns their indices."""
+        return [self.add(machine, app, p, seed=seed, params=params)
+                for p in procs]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+# ======================================================================
+# Ambient execution context
+# ======================================================================
+@dataclass
+class RunContext:
+    """Execution defaults installed by the CLI (or tests)."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+
+
+_CONTEXT_STACK: List[RunContext] = []
+
+
+@contextmanager
+def run_context(*, jobs: int = 1,
+                cache: Optional[ResultCache] = None
+                ) -> Iterator[RunContext]:
+    """Scope within which plans default to ``jobs`` workers + ``cache``.
+
+    The experiment registry calls :func:`execute_plan` without
+    threading options through every figure function; the CLI installs
+    one context around a whole command instead.
+    """
+    ctx = RunContext(jobs=jobs, cache=cache)
+    _CONTEXT_STACK.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT_STACK.pop()
+
+
+def current_context() -> RunContext:
+    """The innermost active context (a serial default otherwise)."""
+    return _CONTEXT_STACK[-1] if _CONTEXT_STACK else RunContext()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value (None = ambient, 0 = all cores)."""
+    if jobs is None:
+        jobs = current_context().jobs
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+# ======================================================================
+# Execution
+# ======================================================================
+def _run_spec(spec: RunSpec) -> RunResult:
+    """Execute one spec with session auto-record suppressed."""
+    with trace_session.no_session():
+        return spec.machine.run(spec.app, spec.nprocs,
+                                seed=spec.seed, params=spec.params)
+
+
+def _localize(result: RunResult, spec: RunSpec) -> RunResult:
+    """Stamp a shared/cached result with the requesting machine's name."""
+    if result.machine == spec.machine.name:
+        return result
+    return dataclasses.replace(result, machine=spec.machine.name)
+
+
+def _execute_traced(specs: Sequence[RunSpec],
+                    keys: Sequence[str]) -> List[RunResult]:
+    """Serial execution inside a live tracing session.
+
+    Runs the deduplicated work list in plan order; ``Machine.run``
+    records each (result, tracer) pair into the session itself.
+    """
+    by_key: Dict[str, RunResult] = {}
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    for i, spec in enumerate(specs):
+        produced = by_key.get(keys[i])
+        if produced is None:
+            produced = spec.machine.run(spec.app, spec.nprocs,
+                                        seed=spec.seed, params=spec.params)
+            by_key[keys[i]] = produced
+        results[i] = _localize(produced, spec)
+    return results  # type: ignore[return-value]
+
+
+def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None
+                 ) -> List[RunResult]:
+    """Execute every spec of ``plan``; results in plan order.
+
+    ``jobs``/``cache`` default to the ambient :func:`run_context`.
+    Inside a metrics-collecting session, exactly one result per
+    *unique* run is recorded, in plan order — identical whether the
+    run executed serially, in the pool, or came from the cache.
+    """
+    specs = plan.specs
+    if not specs:
+        return []
+    keys = [spec.key() for spec in specs]
+
+    session = trace_session.active_session()
+    if session is not None and session.trace:
+        return _execute_traced(specs, keys)
+
+    jobs = resolve_jobs(jobs)
+    if cache is None:
+        cache = current_context().cache
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    unique_order: List[str] = []          # first-appearance key order
+    pending: Dict[str, List[int]] = {}    # key -> spec indices to run
+    produced: Dict[str, RunResult] = {}   # key -> canonical result
+
+    for i, key in enumerate(keys):
+        if key not in pending:
+            unique_order.append(key)
+            pending[key] = []
+            if cache is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    produced[key] = hit
+        if key not in produced:
+            pending[key].append(i)
+
+    work: List[Tuple[str, RunSpec]] = [
+        (key, specs[indices[0]])
+        for key, indices in pending.items() if indices]
+
+    if len(work) > 1 and jobs > 1:
+        workers = min(jobs, len(work))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [(key, pool.submit(_run_spec, spec))
+                       for key, spec in work]
+            for key, future in futures:
+                produced[key] = future.result()
+    else:
+        for key, spec in work:
+            produced[key] = _run_spec(spec)
+
+    if cache is not None:
+        for key, _spec in work:
+            cache.put(key, produced[key])
+
+    for i, key in enumerate(keys):
+        results[i] = _localize(produced[key], specs[i])
+
+    if session is not None:
+        first_index = {key: keys.index(key) for key in unique_order}
+        for key in unique_order:
+            session.record(results[first_index[key]], None)
+
+    return results  # type: ignore[return-value]
+
+
+def run_grid(entries: Sequence[Tuple[str, Machine, Application, int]], *,
+             jobs: Optional[int] = None,
+             cache: Optional[ResultCache] = None
+             ) -> Dict[str, RunResult]:
+    """Execute tagged runs; returns ``{tag: result}``.
+
+    Convenience over :class:`RunPlan` for experiments whose grids are
+    naturally keyed (workload names, machine labels) rather than
+    positional.  Tags must be unique.
+    """
+    plan = RunPlan()
+    tags: List[str] = []
+    for tag, machine, app, nprocs in entries:
+        if tag in tags:
+            raise ValueError(f"duplicate grid tag {tag!r}")
+        tags.append(tag)
+        plan.add(machine, app, nprocs)
+    results = execute_plan(plan, jobs=jobs, cache=cache)
+    return dict(zip(tags, results))

@@ -9,6 +9,10 @@ the application's processor programs to completion, and returns a
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+from enum import Enum
 from typing import Any, Dict, Optional
 
 from repro.apps.base import AppContext, Application
@@ -98,6 +102,33 @@ class Runtime(OpHandler):
         """Hook for end-of-run bookkeeping (optional)."""
 
 
+def fingerprint_value(value: Any) -> Any:
+    """Recursively reduce a parameter value to stable, JSON-safe data.
+
+    Dataclasses (machine params, nested timing/overhead structures)
+    become field dictionaries, enums their values, sets sorted lists.
+    Anything exotic falls back to ``repr`` — stable across processes,
+    which is all a fingerprint needs.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: fingerprint_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, dict):
+        return {str(k): fingerprint_value(v)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [fingerprint_value(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((fingerprint_value(v) for v in value), key=str)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):
+        return value.item()
+    return repr(value)
+
+
 class Machine:
     """A platform that can run applications; subclasses configure it."""
 
@@ -105,6 +136,46 @@ class Machine:
 
     def __init__(self) -> None:
         self.last_runtime: Optional[Runtime] = None
+
+    # -- transport --------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        # ``last_runtime`` holds a whole simulation (engine, generator
+        # tasks) — unpicklable and irrelevant to a machine *description*.
+        # Dropping it keeps machines transportable to worker processes.
+        state = dict(self.__dict__)
+        state["last_runtime"] = None
+        return state
+
+    # -- identity ---------------------------------------------------------
+    def fingerprint_data(self, nprocs: Optional[int] = None
+                         ) -> Dict[str, Any]:
+        """Stable data identifying this machine's simulated behaviour.
+
+        The default covers machines fully described by a ``params``
+        dataclass (SGI, AH, HS): class, display name, and every
+        parameter field.  Subclasses with extra behaviour-affecting
+        state must override and include it — anything left out will
+        alias distinct configurations in the result cache.
+
+        ``nprocs`` lets a machine declare processor-count-dependent
+        equivalences; see
+        :meth:`~repro.machines.software.PagedDsmMachine.fingerprint_data`
+        for the shared 1-processor baseline of the software machines.
+        """
+        data: Dict[str, Any] = {
+            "class": type(self).__qualname__,
+            "name": self.name,
+        }
+        params = getattr(self, "params", None)
+        if params is not None:
+            data["params"] = fingerprint_value(params)
+        return data
+
+    def fingerprint(self, nprocs: Optional[int] = None) -> str:
+        """Hex digest of :meth:`fingerprint_data` (cache-key component)."""
+        payload = json.dumps(self.fingerprint_data(nprocs),
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- abstract configuration -----------------------------------------
     @property

@@ -136,6 +136,42 @@ class PagedDsmMachine(Machine):
     def clock_hz(self) -> float:
         return self._clock_hz
 
+    def fingerprint_data(self, nprocs=None):
+        """Cache identity; declares the shared 1-processor baseline.
+
+        At one node the DSM engages no remote machinery — no messages
+        are sent, the lock token never moves, and the bound is local —
+        so none of the protocol/network knobs (overhead preset,
+        eager vs lazy release, diffs vs whole pages, bandwidth,
+        latency, headers) can affect the run.  The paper leans on
+        exactly this (Table 1's DEC and DEC+TreadMarks columns
+        coincide), and ``tests/test_parallel.py`` pins it.  The
+        1-processor fingerprint therefore keeps only the local
+        machine: clock, page size, and the processor cache.  Every
+        software-DSM variant with the same local machine shares one
+        cached baseline.
+        """
+        from repro.machines.base import fingerprint_value
+        data = {
+            "class": "PagedDsmMachine",
+            "clock_hz": self._clock_hz,
+            "page_bytes": self.page_bytes,
+            "cache": fingerprint_value(self.cache),
+        }
+        if nprocs == 1:
+            data["uniprocessor_baseline"] = True
+            return data
+        data.update({
+            "name": self.name,
+            "bandwidth_bytes_per_sec": self.bandwidth,
+            "switch_latency_cycles": self.switch_latency,
+            "header_bytes": self.header_bytes,
+            "overhead": fingerprint_value(self.overhead),
+            "eager_locks": fingerprint_value(self.eager_locks),
+            "use_diffs": self.use_diffs,
+        })
+        return data
+
     def geometry(self) -> Geometry:
         return Geometry(self.page_bytes, self.cache.line_bytes)
 

@@ -131,6 +131,39 @@ class Counters:
     def header_bytes(self) -> int:
         return self.data_bytes[DataKind.HEADER]
 
+    def to_jsonable(self) -> Dict[str, object]:
+        """Lossless JSON form (cache storage, cross-process transport).
+
+        Unlike :meth:`as_dict` (a *flat* report view with derived
+        aggregates mixed in), this is an exact structural dump that
+        :meth:`from_jsonable` restores field for field.
+        """
+        out: Dict[str, object] = {
+            "messages": {k.value: v for k, v in self.messages.items()},
+            "data_bytes": {k.value: v for k, v in self.data_bytes.items()},
+        }
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                continue
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "Counters":
+        """Rebuild a :class:`Counters` from :meth:`to_jsonable` output."""
+        counters = cls()
+        for key, value in data.get("messages", {}).items():
+            counters.messages[MsgKind(key)] = int(value)
+        for key, value in data.get("data_bytes", {}).items():
+            counters.data_bytes[DataKind(key)] = int(value)
+        for f in fields(cls):
+            if f.name in ("messages", "data_bytes"):
+                continue
+            if f.name in data:
+                setattr(counters, f.name, int(data[f.name]))
+        return counters
+
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary (for reports and tests).
 

@@ -10,6 +10,31 @@ from repro.stats.counters import Counters
 from repro.trace.breakdown import TimeBreakdown
 
 
+def jsonable(value: Any) -> Any:
+    """Coerce ``value`` into plain JSON-encodable Python.
+
+    Used on the open-ended payloads a :class:`RunResult` carries
+    (``app_output``, ``params``) before cache storage: numpy scalars
+    become Python numbers, arrays become lists, tuples/sets become
+    lists, and dictionary keys become strings.  Numeric content is
+    preserved exactly (ints stay ints; floats round-trip via JSON's
+    shortest-repr encoding).
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):          # numpy array
+        return value.tolist()
+    if hasattr(value, "item"):            # numpy scalar
+        return value.item()
+    return repr(value)
+
+
 @dataclass
 class RunResult:
     """Everything measured during one application run on one machine."""
@@ -67,6 +92,43 @@ class RunResult:
             s.update(self.breakdown.summary_keys())
         return s
 
+    # -- serialization ----------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Lossless JSON form (result cache, cross-process transport)."""
+        out: Dict[str, Any] = {
+            "machine": self.machine,
+            "app": self.app,
+            "nprocs": self.nprocs,
+            "cycles": self.cycles,
+            "clock_hz": self.clock_hz,
+            "counters": self.counters.to_jsonable(),
+            "app_output": jsonable(self.app_output),
+            "params": jsonable(self.params),
+            "events": self.events,
+        }
+        if self.breakdown is not None:
+            out["breakdown"] = self.breakdown.as_dict()
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        breakdown = None
+        if data.get("breakdown") is not None:
+            breakdown = TimeBreakdown.from_dict(data["breakdown"])
+        return cls(
+            machine=data["machine"],
+            app=data["app"],
+            nprocs=int(data["nprocs"]),
+            cycles=int(data["cycles"]),
+            clock_hz=float(data["clock_hz"]),
+            counters=Counters.from_jsonable(data.get("counters", {})),
+            app_output=dict(data.get("app_output", {})),
+            params=dict(data.get("params", {})),
+            events=int(data.get("events", 0)),
+            breakdown=breakdown,
+        )
+
 
 @dataclass
 class SpeedupSeries:
@@ -103,3 +165,22 @@ class SpeedupSeries:
             if best is None or s > best[1]:
                 best = (r.nprocs, s)
         return best if best else (0, 0.0)
+
+    # -- serialization ----------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Lossless JSON form of the whole curve."""
+        return {
+            "machine": self.machine,
+            "app": self.app,
+            "base_seconds": self.base_seconds,
+            "points": [r.to_jsonable() for r in self.points],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "SpeedupSeries":
+        """Rebuild a series from :meth:`to_jsonable` output."""
+        series = cls(machine=data["machine"], app=data["app"],
+                     base_seconds=float(data["base_seconds"]))
+        for point in data.get("points", []):
+            series.add(RunResult.from_jsonable(point))
+        return series

@@ -124,6 +124,26 @@ class TimeBreakdown:
                 self.software_overhead_fraction()),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TimeBreakdown":
+        """Rebuild a breakdown from :meth:`as_dict` output.
+
+        Only the stored state (per-processor rows, overlay, totals) is
+        read back; the derived entries (``category_totals``,
+        ``fractions`` ...) are recomputed on demand, so a round-tripped
+        breakdown answers every query identically.
+        """
+        breakdown = cls()
+        breakdown.total_cycles = int(data.get("total_cycles", 0))
+        breakdown.nprocs = int(data.get("nprocs", 0))
+        for proc, row in data.get("per_proc", {}).items():
+            breakdown.per_proc[int(proc)] = {
+                str(cat): int(cycles) for cat, cycles in row.items()}
+        breakdown.overlay = {str(cat): int(cycles)
+                             for cat, cycles in
+                             data.get("overlay", {}).items()}
+        return breakdown
+
     def __repr__(self) -> str:
         fracs = ", ".join(f"{c}={f:.2f}"
                           for c, f in self.fractions().items())

@@ -67,6 +67,24 @@ def active_session() -> Optional[TraceSession]:
 
 
 @contextmanager
+def no_session() -> Iterator[None]:
+    """Scope within which no session collects runs.
+
+    The parallel execution layer uses this to take over result
+    collection: it records one entry per *plan* entry (in plan order)
+    itself, so the per-run auto-record must stay silent while it
+    executes the deduplicated work list.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
 def trace_session(*, trace: bool = True,
                   keep_spans: bool = True) -> Iterator[TraceSession]:
     """Scope within which every machine run is collected (and traced)."""

@@ -1,0 +1,140 @@
+"""Parallel/cached plan execution: the determinism contract.
+
+Pins the layer's hard requirement: serial, ``--jobs N``, and
+warm-cache executions produce identical ``summary()`` dictionaries and
+identical speedups.
+"""
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import (RunPlan, current_context, execute_plan,
+                                    resolve_jobs, run_context, run_grid)
+from repro.harness.runner import compare_machines, speedup_series
+from repro.harness.workloads import Scale, make_app
+from repro.machines import DecTreadMarksMachine, SgiMachine
+from repro.trace import trace_session
+
+
+@pytest.fixture
+def app():
+    return make_app("sor_small", Scale.TEST)
+
+
+def _grid_summaries(jobs, cache):
+    """The pinned grid: two machine families x (1, 2) processors."""
+    app = make_app("sor_small", Scale.TEST)
+    series = compare_machines(
+        [DecTreadMarksMachine(), SgiMachine()], app, (1, 2),
+        jobs=jobs, cache=cache)
+    summaries = {name: [r.summary() for r in s.points]
+                 for name, s in series.items()}
+    speedups = {name: s.speedups() for name, s in series.items()}
+    return summaries, speedups
+
+
+def test_serial_pool_and_cache_identical(tmp_path):
+    """THE determinism pin: jobs=1 == jobs=2 == cold cache == warm cache."""
+    serial = _grid_summaries(jobs=1, cache=None)
+    pooled = _grid_summaries(jobs=2, cache=None)
+    cache = ResultCache(str(tmp_path))
+    cold = _grid_summaries(jobs=2, cache=cache)
+    assert cache.stats()["misses"] > 0 and cache.stats()["hits"] == 0
+    warm = _grid_summaries(jobs=2, cache=cache)
+    assert cache.stats()["misses"] == cache.stats()["stores"]  # no re-store
+    assert serial == pooled == cold == warm
+
+
+def test_plan_dedup_executes_once(app):
+    plan = RunPlan()
+    a = plan.add(DecTreadMarksMachine(), app, 2)
+    b = plan.add(DecTreadMarksMachine(), app, 2)
+    results = execute_plan(plan)
+    assert a != b and len(plan) == 2
+    assert results[a].summary() == results[b].summary()
+
+
+def test_shared_baseline_one_store_for_two_variants(app, tmp_path):
+    """TreadMarks user- and kernel-level share the 1-proc baseline run:
+    a (1, 2)-proc sweep over both variants stores 3 results, not 4."""
+    cache = ResultCache(str(tmp_path))
+    plan = RunPlan()
+    for machine in (DecTreadMarksMachine(),
+                    DecTreadMarksMachine(kernel_level=True)):
+        plan.add_series(machine, app, (1, 2))
+    results = execute_plan(plan, cache=cache)
+    assert cache.stats()["stores"] == 3
+    # The shared baseline is re-labelled for the requesting variant.
+    assert results[0].machine == "treadmarks"
+    assert results[2].machine == "treadmarks-kernel"
+    assert results[0].cycles == results[2].cycles
+
+
+def test_speedup_series_reuses_base_result(app):
+    machine = DecTreadMarksMachine()
+    base = machine.run(app, 1)
+    series = speedup_series(machine, app, (1, 2), base_result=base)
+    assert series.at(1) is base
+    plain = speedup_series(machine, app, (1, 2))
+    assert series.speedups() == plain.speedups()
+
+
+def test_run_grid_tags(app):
+    grid = run_grid([("tm", DecTreadMarksMachine(), app, 2),
+                     ("sgi", SgiMachine(), app, 2)])
+    assert set(grid) == {"tm", "sgi"}
+    assert grid["tm"].machine == "treadmarks"
+    with pytest.raises(ValueError):
+        run_grid([("x", SgiMachine(), app, 1),
+                  ("x", SgiMachine(), app, 2)])
+
+
+def test_run_context_ambient():
+    assert current_context().jobs == 1
+    with run_context(jobs=3) as ctx:
+        assert current_context() is ctx
+        assert resolve_jobs(None) == 3
+        with run_context(jobs=1):
+            assert resolve_jobs(None) == 1
+        assert resolve_jobs(None) == 3
+    assert current_context().jobs == 1
+    assert resolve_jobs(0) >= 1          # 0 = all cores
+
+
+def test_metrics_session_records_unique_runs_in_plan_order(app, tmp_path):
+    """Cold and warm cached executions feed the metrics session the
+    same records: one per unique run, in plan order."""
+    cache = ResultCache(str(tmp_path))
+
+    def observed():
+        with trace_session(trace=False) as session:
+            plan = RunPlan()
+            plan.add_series(DecTreadMarksMachine(), app, (1, 2))
+            plan.add(DecTreadMarksMachine(), app, 2)   # dup: not re-recorded
+            execute_plan(plan, cache=cache)
+        return [(r.machine, r.nprocs) for r in session.results]
+
+    cold = observed()
+    warm = observed()
+    assert cold == warm == [("treadmarks", 1), ("treadmarks", 2)]
+    assert cache.stats()["hits"] == 2
+
+
+def test_traced_session_serial_and_fresh(app, tmp_path):
+    """trace=True forces live serial execution: one tracer per unique
+    spec, cache untouched, numbers unchanged."""
+    cache = ResultCache(str(tmp_path))
+    plan = RunPlan()
+    plan.add_series(DecTreadMarksMachine(), app, (1, 2))
+    plan.add(DecTreadMarksMachine(), app, 2)
+    untraced = execute_plan(plan)
+    with trace_session(trace=True) as session:
+        traced = execute_plan(plan, cache=cache)
+    assert len(session.tracers) == 2     # unique specs only
+    assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+    # Tracing adds frac.* breakdown keys; every other number is pinned.
+    for t, u in zip(traced, untraced):
+        assert t.cycles == u.cycles and t.events == u.events
+        assert {k: v for k, v in t.summary().items()
+                if not k.startswith("frac.")
+                and k != "software_overhead_fraction"} == u.summary()

@@ -50,3 +50,76 @@ def test_speedup_series():
 
 def test_speedup_series_empty_peak():
     assert SpeedupSeries("m", "a", 1.0).peak() == (0, 0.0)
+
+
+# ======================================================================
+# JSON round-tripping (the result cache's storage format)
+# ======================================================================
+def make_traced_result():
+    """A RunResult carrying counters, outputs, and a time breakdown."""
+    from repro.trace.breakdown import TimeBreakdown
+    from repro.trace.tracer import Category
+
+    b = TimeBreakdown()
+    b.add(0, Category.COMPUTE, 700)
+    b.add(0, Category.MISS, 200)
+    b.add(1, Category.COMPUTE, 600)
+    b.add(1, Category.SYNC, 100)
+    b.add_overlay(Category.PROTOCOL, 50)
+    b.close(1000, 2, {0: 900, 1: 700})
+    r = make_result(nprocs=2, cycles=1000, barriers=3)
+    r.counters.count_message(MsgKind.DIFF_REQUEST, 512,
+                             DataKind.MISS, 0)
+    r.app_output["residual"] = 0.5
+    r.params["pages"] = 7
+    r.events = 1234
+    r.breakdown = b
+    return r
+
+
+def test_runresult_json_roundtrip():
+    import json
+
+    r = make_traced_result()
+    wire = json.loads(json.dumps(r.to_jsonable()))   # through real JSON
+    back = RunResult.from_jsonable(wire)
+    assert back.summary() == r.summary()
+    assert back.cycles == r.cycles and back.events == r.events
+    assert back.counters.as_dict() == r.counters.as_dict()
+    assert back.counters.messages == r.counters.messages
+    assert back.app_output == r.app_output
+    assert back.params == r.params
+
+
+def test_runresult_breakdown_roundtrip():
+    r = make_traced_result()
+    back = RunResult.from_jsonable(r.to_jsonable())
+    assert back.breakdown is not None
+    assert back.breakdown.per_proc == r.breakdown.per_proc
+    assert back.breakdown.overlay == r.breakdown.overlay
+    assert back.breakdown.fractions() == r.breakdown.fractions()
+    assert (back.breakdown.software_overhead_fraction() ==
+            r.breakdown.software_overhead_fraction())
+    # per_proc keys survive as ints (JSON would stringify them)
+    assert all(isinstance(p, int) for p in back.breakdown.per_proc)
+
+
+def test_runresult_roundtrip_without_breakdown():
+    r = make_result()
+    back = RunResult.from_jsonable(r.to_jsonable())
+    assert back.breakdown is None
+    assert back.summary() == r.summary()
+
+
+def test_speedup_series_json_roundtrip():
+    import json
+
+    series = SpeedupSeries("m", "a", base_seconds=8.0)
+    for nprocs, cycles in [(1, 320_000_000), (2, 160_000_000)]:
+        series.add(make_result(nprocs=nprocs, cycles=cycles))
+    wire = json.loads(json.dumps(series.to_jsonable()))
+    back = SpeedupSeries.from_jsonable(wire)
+    assert back.machine == "m" and back.app == "a"
+    assert back.speedups() == series.speedups()
+    assert [r.summary() for r in back.points] == \
+           [r.summary() for r in series.points]
