@@ -1,0 +1,12 @@
+"""Robustness: TreadMarks speedup decay under injected message loss.
+
+Regenerates the artifact via the experiment registry (id:
+``fault-sweep``) and archives the rows under
+``benchmarks/results/fault-sweep.txt``.
+"""
+
+from _common import bench_experiment
+
+
+def test_fault_sweep(benchmark):
+    bench_experiment(benchmark, "fault-sweep")

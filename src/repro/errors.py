@@ -26,12 +26,46 @@ class DeadlockError(SimulationError):
     Raised by the engine when the event queue drains while simulated
     processors are still blocked (e.g. on a lock or barrier), which
     indicates a protocol bug or an application synchronization bug.
+    The progress watchdog raises it too, for the silent variant: events
+    keep firing but no processor has issued an operation for a long
+    window of simulated time.  ``now`` and ``reason`` carry the
+    diagnostics (sim time of detection, what tripped).
     """
 
-    def __init__(self, blocked: list) -> None:
+    def __init__(self, blocked: list, *, now: int = None,
+                 reason: str = None) -> None:
         self.blocked = list(blocked)
+        self.now = now
+        self.reason = reason
         names = ", ".join(str(b) for b in self.blocked)
-        super().__init__(f"simulation deadlocked; blocked tasks: {names}")
+        msg = "simulation deadlocked"
+        if reason:
+            msg += f" ({reason})"
+        msg += f"; blocked tasks: {names or 'none registered'}"
+        if now is not None:
+            msg += f" at cycle {now}"
+        super().__init__(msg)
+
+
+class NetworkPartitionError(SimulationError):
+    """A message exhausted its retransmission budget.
+
+    Raised by :class:`repro.net.reliable.ReliableNetwork` when every
+    attempt to deliver one message was dropped by the fault plane: the
+    destination is treated as unreachable and the run fails loudly
+    instead of retrying forever.
+    """
+
+    def __init__(self, src: int, dst: int, kind: str, attempts: int,
+                 now: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.attempts = attempts
+        self.now = now
+        super().__init__(
+            f"node {dst} unreachable from node {src}: {kind} message "
+            f"lost {attempts} times (retries exhausted) at cycle {now}")
 
 
 class ProtocolError(SimulationError):

@@ -49,7 +49,9 @@ from repro.stats.result import RunResult
 
 #: Bump when a change alters simulation *behaviour* without touching
 #: any machine/application parameter (protocol logic, timing math).
-CACHE_VERSION = 1
+#: v2: reliable-delivery/fault-injection layer — fault params joined
+#: the machine fingerprint, so pre-fault entries must not be reused.
+CACHE_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -21,15 +21,18 @@ collected live in-process.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 import time
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
 from repro.harness.cache import ResultCache, default_cache_dir
-from repro.harness.experiments import (REGISTRY, Scale, list_experiments,
-                                       run_experiment)
+from repro.harness.experiments import (REGISTRY, Scale, fault_sweep_options,
+                                       list_experiments, run_experiment)
 from repro.harness.parallel import run_context
+from repro.net.faults import parse_schedule
 from repro.trace import (trace_session, write_chrome_trace,
                          write_metrics_jsonl)
 
@@ -55,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write one metrics JSON line per "
                              "machine run (machine, app, cycles, "
                              "counters)")
+    runner.add_argument("--loss-rate", type=float, action="append",
+                        dest="loss_rates", metavar="P", default=None,
+                        help="fault-sweep: per-message drop probability "
+                             "(repeatable; overrides the default rate "
+                             "grid)")
+    runner.add_argument("--fault-seed", type=int, default=None,
+                        metavar="N",
+                        help="fault-sweep: seed of the deterministic "
+                             "fault plane (default: 42)")
+    runner.add_argument("--fault-schedule", default=None, metavar="SPEC",
+                        help="fault-sweep: targeted fault rules, e.g. "
+                             "'drop:diff_request:src=2:nth=3; "
+                             "dup:lock_grant'")
     _add_exec_options(runner)
     runner.set_defaults(func=cmd_run)
 
@@ -127,10 +143,32 @@ def _resolve_ids(ids: List[str]) -> Optional[List[str]]:
     return ids
 
 
+def _fault_overrides(args: argparse.Namespace, ids: List[str]):
+    """Build fault_sweep_options kwargs from CLI flags (or None)."""
+    overrides = {}
+    if args.loss_rates is not None:
+        overrides["loss_rates"] = tuple(args.loss_rates)
+    if args.fault_seed is not None:
+        overrides["seed"] = args.fault_seed
+    if args.fault_schedule is not None:
+        overrides["schedule"] = parse_schedule(args.fault_schedule)
+    if overrides and "fault-sweep" not in ids:
+        raise ConfigurationError(
+            "--loss-rate/--fault-seed/--fault-schedule parameterize the "
+            "'fault-sweep' experiment, which is not among the ids to "
+            "run")
+    return overrides or None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scale = Scale(args.scale)
     ids = _resolve_ids(args.ids)
     if ids is None:
+        return 2
+    try:
+        fault_overrides = _fault_overrides(args, ids)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
         return 2
     cache = _make_cache(args)
 
@@ -145,7 +183,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"expected shape: {REGISTRY[exp_id].shape_note}]")
             print()
 
-    with run_context(jobs=args.jobs, cache=cache):
+    fault_ctx = (fault_sweep_options(**fault_overrides)
+                 if fault_overrides else contextlib.nullcontext())
+    with fault_ctx, run_context(jobs=args.jobs, cache=cache):
         if args.metrics_out:
             # Metrics-only session: collects every run with zero
             # per-event overhead (no tracers are created).

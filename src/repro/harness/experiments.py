@@ -9,8 +9,9 @@ calls out).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.harness import fmt
@@ -20,6 +21,7 @@ from repro.harness.workloads import (EXPERIMENTAL_PROCS, SIMULATED_PROCS,
                                      Scale, make_app)
 from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
                             DecTreadMarksMachine, HybridMachine, SgiMachine)
+from repro.net.faults import FaultPlan, FaultRule
 from repro.net.overhead import OVERHEAD_SWEEP
 from repro.stats.result import SpeedupSeries
 
@@ -622,6 +624,100 @@ def run_a3(scale: Scale) -> Report:
     return report
 
 
+# ======================================================================
+# Robustness: the fault sweep
+# ======================================================================
+
+#: Loss rates swept by ``fault-sweep`` unless overridden via
+#: :func:`fault_sweep_options` (the CLI's ``--loss-rate`` flags).
+DEFAULT_LOSS_RATES: Tuple[float, ...] = (0.0, 0.005, 0.02, 0.05)
+
+#: One bandwidth-bound, one sync-light, one lock-heavy workload — the
+#: three degradation regimes loss can expose.
+FAULT_SWEEP_WORKLOADS: Tuple[str, ...] = ("sor_small", "tsp19", "mwater")
+
+
+@dataclass(frozen=True)
+class FaultSweepOptions:
+    """Parameters of the ``fault-sweep`` experiment."""
+
+    loss_rates: Tuple[float, ...] = DEFAULT_LOSS_RATES
+    seed: int = 42
+    schedule: Tuple[FaultRule, ...] = ()
+
+    def plan(self, rate: float) -> FaultPlan:
+        return FaultPlan(loss_rate=rate, seed=self.seed,
+                         schedule=self.schedule)
+
+
+_fault_options: List[FaultSweepOptions] = []
+
+
+@contextmanager
+def fault_sweep_options(**kwargs):
+    """Ambient overrides for ``fault-sweep`` (mirrors ``run_context``)."""
+    opts = FaultSweepOptions(**kwargs)
+    _fault_options.append(opts)
+    try:
+        yield opts
+    finally:
+        _fault_options.pop()
+
+
+def current_fault_options() -> FaultSweepOptions:
+    return _fault_options[-1] if _fault_options else FaultSweepOptions()
+
+
+@_register("fault-sweep", "Speedup vs. network loss rate (TreadMarks)",
+           "robustness",
+           "Speedup decays monotonically as loss rises; retransmission "
+           "and duplicate counters grow from zero; no run hangs.")
+def run_fault_sweep(scale: Scale) -> Report:
+    opts = current_fault_options()
+    procs = max(EXPERIMENTAL_PROCS)
+    # One plan for the (workload x loss-rate) grid.  The rate-0 plan is
+    # *disabled*, so its machine fingerprints — and cache entries —
+    # coincide with the lossless TreadMarks runs of t1/t2/fig3-8: the
+    # zero-overhead-when-disabled invariant, asserted by CI.
+    plan = RunPlan()
+    layout = []
+    for workload in FAULT_SWEEP_WORKLOADS:
+        app = make_app(workload, scale)
+        base_index = plan.add(DecTreadMarksMachine(), app, 1)
+        entries = []
+        for rate in opts.loss_rates:
+            machine = DecTreadMarksMachine(faults=opts.plan(rate))
+            entries.append((rate, plan.add(machine, app, procs)))
+        layout.append((workload, base_index, entries))
+    results = execute_plan(plan)
+
+    rows = []
+    data: Dict[str, Dict] = {}
+    for workload, base_index, entries in layout:
+        base = results[base_index]
+        for rate, index in entries:
+            r = results[index]
+            speedup = base.seconds / r.seconds
+            c = r.counters
+            rows.append([workload, rate, speedup, c.retransmissions,
+                         c.duplicates_dropped, c.timeout_cycles])
+            data.setdefault(workload, {})[f"{rate:g}"] = {
+                "speedup": speedup,
+                "retransmissions": c.retransmissions,
+                "duplicates_dropped": c.duplicates_dropped,
+                "messages_dropped": c.messages_dropped,
+                "timeout_cycles": c.timeout_cycles,
+            }
+    report = Report("fault-sweep",
+                    f"TreadMarks speedup at {procs} processors vs. "
+                    f"message loss rate (fault seed {opts.seed})")
+    report.lines = fmt.format_table(
+        ["program", "loss rate", "speedup", "retransmits",
+         "dups dropped", "timeout cycles"], rows)
+    report.data = data
+    return report
+
+
 def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
     """Run one experiment by id at the given scale."""
     return get_experiment(exp_id).run(scale)
@@ -629,5 +725,5 @@ def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
 
 def list_experiments() -> List[Experiment]:
     order = (["t1", "t2"] + [f"fig{i}" for i in range(1, 17)] +
-             ["x1", "x2", "x3", "x4", "a1", "a2", "a3"])
+             ["x1", "x2", "x3", "x4", "a1", "a2", "a3", "fault-sweep"])
     return [REGISTRY[k] for k in order if k in REGISTRY]

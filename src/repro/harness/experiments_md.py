@@ -95,6 +95,13 @@ PAPER_CLAIMS: Dict[str, str] = {
           "eager trades extra messages for freshness.",
     "a3": "(Repo ablation.) HS node-size sweep: bigger nodes cut "
           "messages with diminishing returns.",
+    "fault-sweep": "(Repo robustness experiment — no paper "
+                   "counterpart.)  The paper's TreadMarks runs over "
+                   "UDP and supplies its own reliability (§2.2); this "
+                   "sweep injects deterministic message loss under the "
+                   "reliable-delivery layer and measures the speedup "
+                   "decay: monotone per program, steepest for the "
+                   "message-rate-bound programs.",
 }
 
 
@@ -127,6 +134,8 @@ RUN_GRIDS: Dict[str, Tuple[str, str]] = {
     "a1": ("TreadMarks (diffs on/off)", "sor_small, mwater"),
     "a2": ("TreadMarks (lazy, eager)", "tsp19, mwater, sor_small"),
     "a3": ("HS (1-16 procs/node)", "sor_small, mwater"),
+    "fault-sweep": ("TreadMarks x loss rates (0-5%)",
+                    "sor_small, tsp19, mwater"),
 }
 
 
@@ -253,6 +262,21 @@ def _deviations() -> list:
         "  average than the paper's (run-compressed notices, scaled "
         "molecule",
         "  count).  The direction of every individual knob matches.",
+        "* **fault-sweep at bench scale, TSP and M-Water rows.**  At "
+        "the lowest",
+        "  loss rates the speedup can tick *up* by 1-2% before the "
+        "decay takes",
+        "  over: TSP's branch-and-bound prunes differently when loss "
+        "perturbs",
+        "  bound-propagation timing, and M-Water's lock-token "
+        "migration order",
+        "  shifts.  The monotone decay the experiment claims is exact "
+        "at test",
+        "  scale and holds at bench scale once recovery cost "
+        "dominates (the",
+        "  largest rate is always the slowest).  SOR, with no "
+        "data-dependent",
+        "  control flow, decays strictly at every scale.",
         "",
     ]
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dsm.bound import BoundMode
+from repro.errors import ConfigurationError
 from repro.hw.directory import DirectorySystem
 from repro.hw.sync import HwBarrier, HwLockTable
 from repro.machines.base import Machine, Runtime
@@ -76,8 +77,15 @@ class DirectoryRuntime(Runtime):
 class AllHardwareMachine(Machine):
     """AH: uniprocessor nodes + crossbar + directory coherence."""
 
-    def __init__(self, params: Optional[AhParams] = None) -> None:
+    def __init__(self, params: Optional[AhParams] = None, *,
+                 faults=None) -> None:
         super().__init__()
+        if faults is not None and faults.enabled:
+            raise ConfigurationError(
+                "ah keeps coherence in hardware over a reliable "
+                "crossbar; fault injection "
+                f"({faults.label()}) applies only to the software DSM "
+                "machines (treadmarks, as, hs)")
         self.params = params or AhParams()
         self.name = "ah"
 

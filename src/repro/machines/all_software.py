@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.machines.params import AsParams, LocalCacheParams
 from repro.machines.software import PagedDsmMachine
+from repro.net.faults import FaultPlan
 from repro.net.overhead import OverheadPreset
 
 
@@ -20,7 +21,8 @@ class AllSoftwareMachine(PagedDsmMachine):
 
     def __init__(self, params: Optional[AsParams] = None, *,
                  overhead_preset: Optional[OverheadPreset] = None,
-                 eager_locks=None) -> None:
+                 eager_locks=None,
+                 faults: Optional[FaultPlan] = None) -> None:
         params = params or AsParams()
         if overhead_preset is not None:
             params = params.with_overhead(overhead_preset)
@@ -43,4 +45,5 @@ class AllSoftwareMachine(PagedDsmMachine):
             header_bytes=params.header_bytes,
             overhead=params.overhead(),
             eager_locks=eager_locks,
+            faults=faults,
         )

@@ -134,6 +134,12 @@ class Machine:
 
     name: str = "machine"
 
+    #: No-progress window (sim cycles) for the engine watchdog; the
+    #: software machines set it when fault injection is enabled so a
+    #: lossy run that stops making progress fails diagnosably instead
+    #: of hanging.  ``None`` leaves the watchdog off.
+    watchdog_cycles: Optional[int] = None
+
     def __init__(self) -> None:
         self.last_runtime: Optional[Runtime] = None
 
@@ -169,6 +175,12 @@ class Machine:
         params = getattr(self, "params", None)
         if params is not None:
             data["params"] = fingerprint_value(params)
+        faults = getattr(self, "faults", None)
+        if faults is not None and faults.enabled:
+            # Only *enabled* plans enter the key: a disabled plan is
+            # behaviourally identical to no plan, and must share cache
+            # entries with clean runs (zero-overhead-when-disabled).
+            data["faults"] = fingerprint_value(faults)
         return data
 
     def fingerprint(self, nprocs: Optional[int] = None) -> str:
@@ -216,6 +228,7 @@ class Machine:
                 f"{self.name}/{app.name}/p{nprocs}")
 
         engine = Engine(tracer=tracer)
+        engine.watchdog_cycles = self.watchdog_cycles
         space = AddressSpace(self.geometry())
         for region_name, size in app.regions(nprocs).items():
             space.alloc(region_name, size)

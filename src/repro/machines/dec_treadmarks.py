@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.machines.params import DecAtmParams
 from repro.machines.software import PagedDsmMachine
+from repro.net.faults import FaultPlan
 
 
 class DecTreadMarksMachine(PagedDsmMachine):
@@ -21,7 +22,8 @@ class DecTreadMarksMachine(PagedDsmMachine):
                  kernel_level: bool = False,
                  eager_locks=None,
                  use_diffs: bool = True,
-                 max_procs: int = 8) -> None:
+                 max_procs: int = 8,
+                 faults: Optional[FaultPlan] = None) -> None:
         params = params or DecAtmParams()
         if kernel_level:
             params = params.kernel_level()
@@ -41,4 +43,5 @@ class DecTreadMarksMachine(PagedDsmMachine):
             eager_locks=eager_locks,
             use_diffs=use_diffs,
             max_procs=max_procs,
+            faults=faults,
         )

@@ -27,6 +27,8 @@ from repro.mem.directcache import DirectMappedCache
 from repro.mem.layout import AddressSpace, Geometry
 from repro.net.atm import AtmNetwork
 from repro.net.bus import BusModel
+from repro.net.faults import FaultPlan
+from repro.net.reliable import ReliableNetwork
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
@@ -161,11 +163,16 @@ class HybridMachine(Machine):
     """HS: bus-based SMP nodes + software DSM between nodes."""
 
     def __init__(self, params: Optional[HsParams] = None, *,
-                 eager_locks=None) -> None:
+                 eager_locks=None,
+                 faults: Optional[FaultPlan] = None) -> None:
         super().__init__()
         self.params = params or HsParams()
         self.eager_locks = eager_locks
+        self.faults = faults
         self.name = f"hs{self.params.procs_per_node}"
+        if faults is not None and faults.enabled:
+            self.name = f"{self.name}-{faults.label()}"
+            self.watchdog_cycles = faults.watchdog_cycles
 
     @property
     def clock_hz(self) -> float:
@@ -190,6 +197,8 @@ class HybridMachine(Machine):
             header_bytes=p.header_bytes,
             handler_servers=min(p.procs_per_node, nprocs),
         )
+        if self.faults is not None and self.faults.enabled:
+            net = ReliableNetwork(net, self.faults)
         dsm = TreadMarksDsm(net, space, p.overhead(), DsmConfig(
             num_nodes=num_nodes,
             page_bytes=p.page_bytes,

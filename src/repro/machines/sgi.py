@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dsm.bound import BoundMode
+from repro.errors import ConfigurationError
 from repro.hw.snoop import SnoopingSystem
 from repro.hw.sync import HwBarrier, HwLockTable
 from repro.machines.base import Machine, Runtime
@@ -66,8 +67,15 @@ class SnoopRuntime(Runtime):
 class SgiMachine(Machine):
     """The SGI 4D/480."""
 
-    def __init__(self, params: Optional[SgiParams] = None) -> None:
+    def __init__(self, params: Optional[SgiParams] = None, *,
+                 faults=None) -> None:
         super().__init__()
+        if faults is not None and faults.enabled:
+            raise ConfigurationError(
+                "sgi is a hardware shared-memory machine with no "
+                "message-passing network path; fault injection "
+                f"({faults.label()}) applies only to the software DSM "
+                "machines (treadmarks, as, hs)")
         self.params = params or SgiParams()
         self.name = "sgi"
 

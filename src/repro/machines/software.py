@@ -18,7 +18,9 @@ from repro.machines.params import LocalCacheParams
 from repro.mem.directcache import DirectMappedCache
 from repro.mem.layout import AddressSpace, Geometry
 from repro.net.atm import AtmNetwork
+from repro.net.faults import FaultPlan
 from repro.net.overhead import SoftwareOverhead
+from repro.net.reliable import ReliableNetwork
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
@@ -118,7 +120,8 @@ class PagedDsmMachine(Machine):
                  overhead: SoftwareOverhead,
                  eager_locks=None,
                  use_diffs: bool = True,
-                 max_procs: Optional[int] = None) -> None:
+                 max_procs: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         super().__init__()
         self.name = name if use_diffs else f"{name}-nodiff"
         self._clock_hz = clock_hz
@@ -131,6 +134,10 @@ class PagedDsmMachine(Machine):
         self.eager_locks = eager_locks
         self.use_diffs = use_diffs
         self._max_procs = max_procs
+        self.faults = faults
+        if faults is not None and faults.enabled:
+            self.name = f"{self.name}-{faults.label()}"
+            self.watchdog_cycles = faults.watchdog_cycles
 
     @property
     def clock_hz(self) -> float:
@@ -170,6 +177,10 @@ class PagedDsmMachine(Machine):
             "eager_locks": fingerprint_value(self.eager_locks),
             "use_diffs": self.use_diffs,
         })
+        if self.faults is not None and self.faults.enabled:
+            # Disabled plans are behaviourally inert and share keys
+            # with clean runs; enabled plans never may.
+            data["faults"] = fingerprint_value(self.faults)
         return data
 
     def geometry(self) -> Geometry:
@@ -189,6 +200,8 @@ class PagedDsmMachine(Machine):
             counters=counters,
             header_bytes=self.header_bytes,
         )
+        if self.faults is not None and self.faults.enabled:
+            net = ReliableNetwork(net, self.faults)
         dsm = TreadMarksDsm(net, space, self.overhead, DsmConfig(
             num_nodes=nprocs,
             page_bytes=self.page_bytes,

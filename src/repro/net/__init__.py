@@ -1,9 +1,13 @@
-"""Interconnect substrate: software overheads, LAN/crossbar/bus models."""
+"""Interconnect substrate: software overheads, LAN/crossbar/bus models,
+fault injection, and the reliable-delivery layer."""
 
 from repro.net.atm import AtmNetwork
 from repro.net.bus import BusModel
 from repro.net.crossbar import CrossbarNetwork
+from repro.net.faults import (FaultInjector, FaultPlan, FaultRule,
+                              StallWindow, parse_schedule)
 from repro.net.overhead import OverheadPreset, SoftwareOverhead
+from repro.net.reliable import ReliableNetwork
 
 __all__ = [
     "SoftwareOverhead",
@@ -11,4 +15,10 @@ __all__ = [
     "AtmNetwork",
     "CrossbarNetwork",
     "BusModel",
+    "FaultPlan",
+    "FaultRule",
+    "StallWindow",
+    "FaultInjector",
+    "parse_schedule",
+    "ReliableNetwork",
 ]

@@ -1,0 +1,189 @@
+"""Reliable delivery over a faulty network: TreadMarks' UDP layer.
+
+The paper's TreadMarks sits on UDP and supplies its own reliability
+(§2.2); this module is that layer for the simulator.  A
+:class:`ReliableNetwork` wraps any point-to-point network exposing the
+:class:`~repro.net.atm.AtmNetwork` interface and adds, per logical
+message:
+
+* a per-(src, dst) *sequence number* identifying the message across
+  retransmissions,
+* a retransmission timer armed from the network's own round-trip
+  estimate, backing off exponentially (``rto * 2^(attempt-1)``),
+* a bounded retry budget — exhausting it raises
+  :class:`~repro.errors.NetworkPartitionError` from the engine event,
+  so a dead destination fails the run loudly instead of hanging it,
+* receiver-side duplicate suppression: however many copies the fault
+  plane delivers, ``on_delivered`` fires exactly once, keeping the DSM
+  protocol handlers idempotent for free.
+
+Which attempts are dropped, duplicated, jittered, or deferred by a
+stall window is decided by the deterministic
+:class:`~repro.net.faults.FaultInjector`.  Cost model (the DESIGN.md
+approximation): a dropped frame vanishes without consuming link or
+handler time — the drop's cost is the timeout wait that follows, which
+dominates by orders of magnitude — while retransmitted and duplicated
+frames pay full network cost and appear in the message counters.
+Recovery waits are traced as :attr:`Category.RECOVERY
+<repro.trace.tracer.Category>` spans so time breakdowns attribute them.
+
+With a disabled plan the wrapper is never even constructed (machines
+build the bare network), so the lossless path stays byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import NetworkPartitionError
+from repro.net.atm import AtmNetwork
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.stats.counters import DataKind, MsgKind
+from repro.trace.tracer import Category
+
+
+class _Transmission:
+    """One logical message in flight (possibly over several attempts)."""
+
+    __slots__ = ("src", "dst", "payload", "kind", "data_kind", "seq",
+                 "on_delivered", "base_rto", "attempt", "delivered",
+                 "last_sent")
+
+    def __init__(self, src: int, dst: int, payload: int, kind: MsgKind,
+                 data_kind: DataKind, seq: int,
+                 on_delivered: Optional[Callable[[int], None]],
+                 base_rto: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.kind = kind
+        self.data_kind = data_kind
+        self.seq = seq
+        self.on_delivered = on_delivered
+        self.base_rto = base_rto
+        self.attempt = 0
+        self.delivered = False
+        self.last_sent = 0
+
+
+class ReliableNetwork:
+    """Sequence numbers + timeout/retransmit + dedup over a raw network.
+
+    Exposes the same surface the DSM layers consume (``send``,
+    ``engine``, ``counters``, ``num_nodes``, ``handlers``,
+    ``roundtrip_estimate``, ``wire_cycles``), so it drops in wherever
+    an :class:`AtmNetwork` is expected.
+    """
+
+    def __init__(self, inner: AtmNetwork, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.injector = FaultInjector(plan, inner.num_nodes)
+        self.engine = inner.engine
+        self.counters = inner.counters
+        self.num_nodes = inner.num_nodes
+        self.handlers = inner.handlers
+        self._next_seq: Dict[Tuple[int, int], int] = {}
+
+    # -- delegated cost model ------------------------------------------
+    def wire_cycles(self, nbytes: int) -> int:
+        return self.inner.wire_cycles(nbytes)
+
+    def roundtrip_estimate(self, payload_bytes: int = 0) -> int:
+        return self.inner.roundtrip_estimate(payload_bytes)
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload_bytes: int, *,
+             kind: MsgKind, data_kind: DataKind = DataKind.CONSISTENCY,
+             now: Optional[int] = None,
+             on_delivered: Optional[Callable[[int], None]] = None) -> int:
+        """Send one logical message; delivers ``on_delivered`` exactly
+        once (or raises :class:`NetworkPartitionError` via the engine).
+        """
+        if now is None:
+            now = self.engine.now
+        if src == dst:
+            # Loopback never crosses the wire: nothing to lose.
+            return self.inner.send(src, dst, payload_bytes, kind=kind,
+                                   data_kind=data_kind, now=now,
+                                   on_delivered=on_delivered)
+        edge = (src, dst)
+        seq = self._next_seq.get(edge, 0)
+        self._next_seq[edge] = seq + 1
+        base_rto = max(1, int(self.plan.rto_multiplier *
+                              self.inner.roundtrip_estimate(payload_bytes)))
+        tx = _Transmission(src, dst, payload_bytes, kind, data_kind,
+                           seq, on_delivered, base_rto)
+        return self._attempt(tx, now)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, tx: _Transmission, now: int) -> int:
+        """Launch the next transmission attempt of ``tx`` at ``now``."""
+        wake = max(self.injector.stall_until(tx.src, now),
+                   self.injector.stall_until(tx.dst, now))
+        if wake > now:
+            self.counters.stall_deferrals += 1
+            self.engine.schedule_at(wake, self._attempt, tx, wake)
+            return wake
+
+        tx.attempt += 1
+        tracer = self.engine.tracer
+        if tx.attempt > 1:
+            self.counters.retransmissions += 1
+            if tracer.enabled:
+                # The recovery span is the dead time the loss cost us:
+                # from the failed attempt to this retransmission.
+                tracer.complete(
+                    tx.src, Category.RECOVERY,
+                    f"retransmit:{tx.kind.value}", tx.last_sent, now,
+                    track=f"node{tx.src}.sw", dst=tx.dst, seq=tx.seq,
+                    attempt=tx.attempt)
+        tx.last_sent = now
+
+        decision = self.injector.decide(tx.src, tx.dst, tx.kind)
+        if decision.drop:
+            self.counters.messages_dropped += 1
+            rto = tx.base_rto << (tx.attempt - 1)
+            if tracer.enabled:
+                tracer.instant(tx.src, Category.RECOVERY, "frame_lost",
+                               now, track=f"node{tx.src}.sw",
+                               dst=tx.dst, seq=tx.seq,
+                               kind=tx.kind.value, attempt=tx.attempt)
+            self.engine.schedule_at(now + rto, self._timeout, tx, rto)
+            return now + rto
+
+        start = now + decision.jitter
+        copies = 2 if decision.duplicate else 1
+        delivered = 0
+        for _copy in range(copies):
+            delivered = self.inner.send(
+                tx.src, tx.dst, tx.payload, kind=tx.kind,
+                data_kind=tx.data_kind, now=start,
+                on_delivered=lambda t, tx=tx: self._arrived(tx, t))
+        return delivered
+
+    def _timeout(self, tx: _Transmission, rto: int) -> None:
+        """The retransmission timer for ``tx``'s last attempt fired."""
+        if tx.delivered:
+            return
+        self.counters.timeouts += 1
+        self.counters.timeout_cycles += rto
+        if tx.attempt >= 1 + self.plan.max_retries:
+            raise NetworkPartitionError(tx.src, tx.dst, tx.kind.value,
+                                        tx.attempt, self.engine.now)
+        self._attempt(tx, self.engine.now)
+
+    def _arrived(self, tx: _Transmission, time: int) -> None:
+        """Receiver-side dedup: deliver each logical message once."""
+        if tx.delivered:
+            self.counters.duplicates_dropped += 1
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant(tx.dst, Category.RECOVERY,
+                               "duplicate_dropped", time,
+                               track=f"node{tx.dst}.sw", src=tx.src,
+                               seq=tx.seq, kind=tx.kind.value)
+            return
+        tx.delivered = True
+        if tx.on_delivered is not None:
+            tx.on_delivered(time)

@@ -31,6 +31,11 @@ class Engine:
         print(engine.now)
     """
 
+    #: Backstop for same-cycle event churn: a watchdog-armed run that
+    #: processes this many events without any task progressing is
+    #: declared wedged even if simulated time has not advanced.
+    WATCHDOG_MAX_EVENTS = 5_000_000
+
     def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self.now: int = 0
         self._heap: List[Tuple[int, int, Callback, tuple]] = []
@@ -38,6 +43,12 @@ class Engine:
         self._tasks: List[Any] = []
         self._running = False
         self.events_processed: int = 0
+        #: Progress watchdog: when set, :meth:`run` raises
+        #: :class:`DeadlockError` if that many simulated cycles pass
+        #: with events still firing but no registered task issuing an
+        #: operation or finishing — the "silent no-progress" failure
+        #: mode a lossy network can otherwise turn into a hang.
+        self.watchdog_cycles: Optional[int] = None
         #: Observation hook; never schedules events, so tracing cannot
         #: change simulated time.  Defaults to the shared no-op tracer.
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
@@ -94,6 +105,10 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         stopped_at_horizon = False
+        watchdog = self.watchdog_cycles
+        mark_time = self.now
+        mark_events = self.events_processed
+        mark_state = self._progress_state()
         try:
             while self._heap:
                 time, _seq, fn, args = self._heap[0]
@@ -105,14 +120,42 @@ class Engine:
                 self.now = time
                 self.events_processed += 1
                 fn(*args)
+                if watchdog is None:
+                    continue
+                if (self.now - mark_time < watchdog and
+                        self.events_processed - mark_events <
+                        self.WATCHDOG_MAX_EVENTS):
+                    continue
+                state = self._progress_state()
+                if state == mark_state:
+                    blocked = [t for t in self._tasks if not t.finished]
+                    raise DeadlockError(
+                        blocked, now=self.now,
+                        reason=f"no task progress in "
+                               f"{self.now - mark_time} cycles / "
+                               f"{self.events_processed - mark_events} "
+                               f"events")
+                mark_time = self.now
+                mark_events = self.events_processed
+                mark_state = state
         finally:
             self._running = False
 
         if not stopped_at_horizon:
             blocked = [t for t in self._tasks if not t.finished]
             if blocked:
-                raise DeadlockError(blocked)
+                raise DeadlockError(blocked, now=self.now,
+                                    reason="event queue drained")
         return self.now
+
+    def _progress_state(self) -> Tuple[int, int]:
+        """A signature that changes whenever any task makes progress."""
+        issued = 0
+        finished = 0
+        for task in self._tasks:
+            issued += task.ops_issued
+            finished += task.finished
+        return issued, finished
 
     def empty(self) -> bool:
         """True when no events remain queued."""

@@ -42,6 +42,7 @@ class ProcTask:
         self.start_time: Optional[int] = None
         self.ops_issued = 0
         self.busy_cycles = 0
+        self.current_op: Any = None
         self._last_resume = 0
         self._waiting = False
         engine.register_task(self)
@@ -49,6 +50,8 @@ class ProcTask:
     def __repr__(self) -> str:
         state = "finished" if self.finished else (
             "blocked" if self._waiting else "ready")
+        if self._waiting and self.current_op is not None:
+            state += f" on {self.current_op!r}"
         return f"<ProcTask p{self.proc_id} {state}>"
 
     # ------------------------------------------------------------------
@@ -83,7 +86,9 @@ class ProcTask:
         except StopIteration:
             self.finished = True
             self.finish_time = self.engine.now
+            self.current_op = None
             return
         self.ops_issued += 1
+        self.current_op = op
         self._waiting = True
         self.handler.handle(self, op)

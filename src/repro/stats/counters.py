@@ -81,6 +81,14 @@ class Counters:
     pages_invalidated: int = 0
     diffs_merged: int = 0
 
+    # -- reliable delivery / fault recovery -------------------------------
+    messages_dropped: int = 0
+    retransmissions: int = 0
+    duplicates_dropped: int = 0
+    timeouts: int = 0
+    timeout_cycles: int = 0
+    stall_deferrals: int = 0
+
     # -- hardware coherence ----------------------------------------------
     bus_transactions: int = 0
     bus_data_bytes: int = 0

@@ -45,6 +45,7 @@ class Category(Enum):
     SYNC = "sync"          # locks, barriers, bound propagation
     PROTOCOL = "protocol"  # software DSM CPU work (twin/diff/handlers)
     NETWORK = "network"    # wire + switch occupancy
+    RECOVERY = "recovery"  # timeout waits + retransmissions (faults)
     IDLE = "idle"          # finished early, waiting for the last proc
 
 
@@ -168,7 +169,8 @@ class Tracer:
                  start: int, end: int, *,
                  track: Optional[str] = None, **args: Any) -> None:
         """Record a detail span whose interval is already known."""
-        if category is Category.PROTOCOL or category is Category.NETWORK:
+        if (category is Category.PROTOCOL or category is Category.NETWORK
+                or category is Category.RECOVERY):
             self.breakdown.add_overlay(category, end - start)
         if self.keep_spans:
             self.spans.append(Span(track or f"p{proc}", proc, category,

@@ -4,6 +4,7 @@ seeds change only what they should."""
 from repro.apps import IlinkApp, SorApp, TspApp, WaterApp
 from repro.machines import (AllSoftwareMachine, DecTreadMarksMachine,
                             HybridMachine)
+from repro.net.faults import FaultPlan, StallWindow, parse_schedule
 
 
 def fingerprint(result):
@@ -57,6 +58,36 @@ def test_seed_changes_ilink_weights_not_results():
     # Different load-balance draws -> different timing...
     assert a.cycles != b.cycles
     # ...but the data computation itself is seed-independent here.
+    assert a.app_output["checksum"] == b.app_output["checksum"]
+
+
+def test_faulty_runs_bit_identical():
+    """The fault plane is part of the deterministic state: a seeded
+    fault sequence reproduces bit-identically run over run."""
+    plan = FaultPlan(loss_rate=0.03, dup_rate=0.02, jitter_cycles=200,
+                     seed=7, stalls=(StallWindow(1, 10_000, 60_000),),
+                     schedule=parse_schedule("dup:diff_response:nth=2"))
+    # 16 procs on the hybrid = 4 four-CPU nodes, so stall node 1 exists.
+    for machine_factory, nprocs in (
+            (lambda: DecTreadMarksMachine(faults=plan), 4),
+            (lambda: HybridMachine(faults=plan), 16)):
+        a = machine_factory().run(SorApp(rows=32, cols=32, iterations=3),
+                                  nprocs)
+        b = machine_factory().run(SorApp(rows=32, cols=32, iterations=3),
+                                  nprocs)
+        assert fingerprint(a) == fingerprint(b)
+        assert a.counters.messages_dropped > 0   # faults actually fired
+
+
+def test_fault_seed_changes_fault_sequence():
+    app_factory = lambda: SorApp(rows=32, cols=32, iterations=3)
+    a = DecTreadMarksMachine(
+        faults=FaultPlan(loss_rate=0.05, seed=1)).run(app_factory(), 4)
+    b = DecTreadMarksMachine(
+        faults=FaultPlan(loss_rate=0.05, seed=2)).run(app_factory(), 4)
+    # Different drop sets -> different recovery timing...
+    assert a.cycles != b.cycles
+    # ...same converged data.
     assert a.app_output["checksum"] == b.app_output["checksum"]
 
 

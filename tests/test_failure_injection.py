@@ -1,12 +1,15 @@
 """Failure injection: buggy applications must fail loudly, not hang
-silently or corrupt protocol state."""
+silently or corrupt protocol state — and *lossy networks* must either
+recover transparently or fail loudly, never hang."""
 
 import pytest
 
-from repro.apps import ops
+from repro.apps import SorApp, TspApp, ops
 from repro.apps.base import Application
-from repro.errors import AddressError, DeadlockError, ProtocolError
+from repro.errors import (AddressError, DeadlockError,
+                          NetworkPartitionError, ProtocolError)
 from repro.machines import DecTreadMarksMachine, SgiMachine
+from repro.net.faults import FaultPlan, parse_schedule
 
 
 class ForgottenRelease(Application):
@@ -133,3 +136,57 @@ class UnknownRegion(Application):
 def test_unknown_region_raises():
     with pytest.raises(AddressError):
         SgiMachine().run(UnknownRegion(), 1)
+
+
+# ----------------------------------------------------------------------
+# Network loss scenarios: the reliable-delivery layer must recover
+# transparently (correct output, nonzero recovery counters) or raise,
+# never hang.
+# ----------------------------------------------------------------------
+
+def _faulty(schedule_spec):
+    return DecTreadMarksMachine(
+        faults=FaultPlan(schedule=parse_schedule(schedule_spec)))
+
+
+def test_dropped_lock_grant_is_retransmitted():
+    app = TspApp(cities=8, leaf_cutoff=5)
+    clean = DecTreadMarksMachine().run(app, 4)
+    lossy = _faulty("drop:lock_grant:nth=1").run(app, 4)
+    assert lossy.counters.retransmissions >= 1
+    assert lossy.counters.messages_dropped >= 1
+    # TSP total cycles may move either way (loss perturbs the
+    # branch-and-bound pruning order), but the timeout wait was paid...
+    assert lossy.counters.timeout_cycles > 0
+    # ...and the search still finds the same optimum.
+    assert lossy.app_output["optimal_length"] == \
+        clean.app_output["optimal_length"]
+
+
+def test_dropped_barrier_release_is_retransmitted():
+    app = SorApp(rows=32, cols=32, iterations=3)
+    clean = DecTreadMarksMachine().run(app, 4)
+    lossy = _faulty("drop:barrier_depart:nth=1").run(app, 4)
+    assert lossy.counters.retransmissions >= 1
+    assert lossy.cycles > clean.cycles
+    assert lossy.app_output["checksum"] == clean.app_output["checksum"]
+
+
+def test_duplicated_diff_response_is_suppressed():
+    app = SorApp(rows=32, cols=32, iterations=3)
+    clean = DecTreadMarksMachine().run(app, 4)
+    noisy = _faulty("dup:diff_response").run(app, 4)
+    assert noisy.counters.duplicates_dropped >= 1
+    assert noisy.app_output["checksum"] == clean.app_output["checksum"]
+
+
+def test_exhausted_retries_fail_loudly_not_hang():
+    """Every diff request dropped: the destination is effectively
+    partitioned and the run must end in NetworkPartitionError."""
+    machine = DecTreadMarksMachine(faults=FaultPlan(
+        schedule=parse_schedule("drop:diff_request"), max_retries=2))
+    with pytest.raises(NetworkPartitionError) as err:
+        machine.run(SorApp(rows=32, cols=32, iterations=2), 4)
+    assert err.value.kind == "diff_request"
+    assert err.value.attempts == 3
+    assert err.value.now > 0

@@ -13,6 +13,7 @@ from repro.harness.parallel import (RunPlan, current_context, execute_plan,
 from repro.harness.runner import compare_machines, speedup_series
 from repro.harness.workloads import Scale, make_app
 from repro.machines import DecTreadMarksMachine, SgiMachine
+from repro.net.faults import FaultPlan
 from repro.trace import trace_session
 
 
@@ -43,6 +44,52 @@ def test_serial_pool_and_cache_identical(tmp_path):
     warm = _grid_summaries(jobs=2, cache=cache)
     assert cache.stats()["misses"] == cache.stats()["stores"]  # no re-store
     assert serial == pooled == cold == warm
+
+
+def _fault_grid_summaries(jobs, cache, seed):
+    """Faulty grid: clean vs. lossy TreadMarks at (1, 2) processors."""
+    app = make_app("sor_small", Scale.TEST)
+    series = compare_machines(
+        [DecTreadMarksMachine(),
+         DecTreadMarksMachine(faults=FaultPlan(loss_rate=0.15,
+                                               seed=seed))],
+        app, (1, 2), jobs=jobs, cache=cache)
+    summaries = {name: [r.summary() for r in s.points]
+                 for name, s in series.items()}
+    retrans = {name: [r.counters.retransmissions for r in s.points]
+               for name, s in series.items()}
+    return summaries, retrans
+
+
+@pytest.mark.parametrize("seed", [7, 42])
+def test_faulty_grid_serial_pool_and_cache_identical(tmp_path, seed):
+    """The determinism pin extends to fault-injected machines: the
+    seeded fault sequence is bit-identical across serial, --jobs N,
+    cold-cache, and warm-cache execution."""
+    serial = _fault_grid_summaries(jobs=1, cache=None, seed=seed)
+    pooled = _fault_grid_summaries(jobs=2, cache=None, seed=seed)
+    cache = ResultCache(str(tmp_path))
+    cold = _fault_grid_summaries(jobs=2, cache=cache, seed=seed)
+    warm = _fault_grid_summaries(jobs=2, cache=cache, seed=seed)
+    assert serial == pooled == cold == warm
+    _summaries, retrans = serial
+    assert retrans["treadmarks-loss0.15"][1] > 0   # faults fired at p=2
+    assert retrans["treadmarks"] == [0, 0]
+
+
+def test_faulty_and_clean_runs_share_only_the_baseline(app, tmp_path):
+    """Fault params fork the cache key for networked runs, while the
+    1-proc uniprocessor baseline (no network -> no faults) is shared:
+    a (1, 2)-proc sweep over both stores 3 results, not 4."""
+    cache = ResultCache(str(tmp_path))
+    plan = RunPlan()
+    for machine in (DecTreadMarksMachine(),
+                    DecTreadMarksMachine(faults=FaultPlan(loss_rate=0.05))):
+        plan.add_series(machine, app, (1, 2))
+    results = execute_plan(plan, cache=cache)
+    assert cache.stats()["stores"] == 3
+    assert results[1].summary() != results[3].summary()   # 2-proc forked
+    assert results[0].cycles == results[2].cycles         # baseline shared
 
 
 def test_plan_dedup_executes_once(app):
