@@ -1,0 +1,107 @@
+"""Wall-clock overhead of the consistency-checking layer.
+
+Times fixed bench-scale workloads in three configurations:
+
+* ``off``     — checkers never constructed (the ``is not None`` path),
+* ``online``  — invariant checkers armed (``checking()``),
+* ``history`` — plus LRC history recording and post-run replay.
+
+Writes ``BENCH_check_overhead.json`` at the repo root.  The acceptance
+bar is that the *disabled* path is free — hook sites cost one ``None``
+test each — and the script verifies that checking never changes
+simulated cycles.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_check_overhead.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+
+from repro.check import checking
+from repro.harness.workloads import Scale, make_app
+from repro.machines.all_hardware import AllHardwareMachine
+from repro.machines.dec_treadmarks import DecTreadMarksMachine
+from repro.machines.sgi import SgiMachine
+
+REPEATS = 9
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_check_overhead.json")
+
+WORKLOADS = [
+    ("treadmarks", DecTreadMarksMachine, "sor_small", 4),
+    ("treadmarks", DecTreadMarksMachine, "tsp18", 4),
+    ("sgi", SgiMachine, "sor_small", 4),
+    ("ah", AllHardwareMachine, "sor_small", 4),
+]
+
+
+def _time_run(machine_cls, app_name, nprocs, check_ctx):
+    """Best wall-clock seconds over REPEATS runs; also the cycles.
+
+    The minimum is the standard estimator for microbenchmarks: every
+    sample above it is the same work plus scheduler noise.
+    """
+    samples = []
+    cycles = None
+    with check_ctx():
+        # One untimed warmup so the first timed sample is not paying
+        # for allocator/cache warmup.
+        machine_cls().run(make_app(app_name, Scale.BENCH), nprocs)
+        for _ in range(REPEATS):
+            machine = machine_cls()
+            app = make_app(app_name, Scale.BENCH)
+            start = time.perf_counter()
+            result = machine.run(app, nprocs)
+            samples.append(time.perf_counter() - start)
+            if cycles is None:
+                cycles = result.cycles
+            elif result.cycles != cycles:
+                raise AssertionError(
+                    f"non-deterministic cycles for {app_name}: "
+                    f"{result.cycles} != {cycles}")
+    return min(samples), cycles
+
+
+def main() -> int:
+    configs = {
+        "off": contextlib.nullcontext,
+        "online": checking,
+        "history": lambda: checking(history=True),
+    }
+    report = {"repeats": REPEATS, "scale": "bench", "runs": []}
+    for label, machine_cls, app_name, nprocs in WORKLOADS:
+        entry = {"machine": label, "app": app_name, "nprocs": nprocs}
+        cycles_seen = {}
+        for config, ctx in configs.items():
+            seconds, cycles = _time_run(machine_cls, app_name, nprocs,
+                                        ctx)
+            entry[f"seconds_{config}"] = round(seconds, 6)
+            cycles_seen[config] = cycles
+        if len(set(cycles_seen.values())) != 1:
+            raise AssertionError(
+                f"checking changed simulated cycles: {cycles_seen}")
+        entry["cycles"] = cycles_seen["off"]
+        entry["overhead_online"] = round(
+            entry["seconds_online"] / entry["seconds_off"] - 1, 4)
+        entry["overhead_history"] = round(
+            entry["seconds_history"] / entry["seconds_off"] - 1, 4)
+        report["runs"].append(entry)
+        print(f"{label:12s} {app_name:10s} off={entry['seconds_off']:.4f}s "
+              f"online=+{entry['overhead_online']:.1%} "
+              f"history=+{entry['overhead_history']:.1%}")
+
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Memory-model conformance checking (``repro.check``).
+
+Three layers, all zero-overhead when disabled:
+
+* :mod:`repro.check.checker` — online invariant checkers hooked into
+  the LRC protocol (:class:`~repro.check.checker.DsmChecker`), the
+  snooping bus (:class:`~repro.check.checker.SnoopChecker`), and the
+  directory (:class:`~repro.check.checker.DirectoryChecker`).  Enable
+  with the :func:`~repro.check.checker.checking` context manager or by
+  setting ``REPRO_CHECK=1`` (``REPRO_CHECK=history`` also records the
+  LRC read/write/sync history and verifies it post-run).
+* :mod:`repro.check.fuzz` — a seeded generator of small
+  data-race-free programs plus a cross-machine differential runner
+  and shrinker.
+* :mod:`repro.check.conformance` — the ``repro-harness check``
+  battery: fixed fuzz programs and paper workloads on every machine
+  with the checkers armed.
+
+This module stays import-light: ``fuzz`` and ``conformance`` import
+the machine layer, so pull them in explicitly where needed.
+"""
+
+from repro.check.checker import (CheckConfig, DirectoryChecker, DsmChecker,
+                                 SnoopChecker, active_check_config, checking)
+from repro.check.events import ProtocolEvent
+from repro.errors import ConsistencyViolation
+
+__all__ = [
+    "CheckConfig",
+    "ConsistencyViolation",
+    "DirectoryChecker",
+    "DsmChecker",
+    "ProtocolEvent",
+    "SnoopChecker",
+    "active_check_config",
+    "checking",
+]

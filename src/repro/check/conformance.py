@@ -1,0 +1,109 @@
+"""The ``repro-harness check`` battery: checked conformance runs.
+
+Runs a fixed battery of workloads on all five machine models with the
+online invariant checkers armed and reports PASS/FAIL per entry:
+
+* three fixed differential fuzz programs (seeds 1001..1003) with the
+  full LRC history checker — small, fast, and they cross every
+  machine's protocol layer (the HS model uses 2-processor nodes so
+  even 4-processor programs span nodes);
+* the paper's applications (SOR, TSP, Water) at the requested scale
+  with the online checkers but without history recording — the
+  histories of real apps are large, and the online invariants are the
+  part that scales.
+
+A PASS means every machine completed without a
+:class:`~repro.errors.ConsistencyViolation` and, for the differential
+entries, that all five final memory images were byte-identical with
+the expected lock totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.check.checker import checking
+from repro.check.fuzz import default_machines, generate_program, run_program
+from repro.errors import ReproError
+
+#: Seeds of the fixed differential programs in the battery.
+FIXED_FUZZ_SEEDS = (1001, 1002, 1003)
+
+#: Paper applications exercised with the online checkers armed.
+APP_BATTERY = ("sor_small", "tsp18", "water")
+
+
+@dataclass
+class CheckResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class CheckReport:
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def lines(self) -> List[str]:
+        out = []
+        for r in self.results:
+            mark = "PASS" if r.ok else "FAIL"
+            line = f"[{mark}] {r.name}"
+            if r.detail:
+                line += f" — {r.detail}"
+            out.append(line)
+        n_fail = sum(1 for r in self.results if not r.ok)
+        out.append(f"{len(self.results) - n_fail}/{len(self.results)} "
+                   "checks passed")
+        return out
+
+
+def run_conformance(scale: Any = None, *,
+                    machines: Optional[Sequence[Any]] = None,
+                    nprocs: int = 4,
+                    jobs: Optional[int] = None,
+                    log: Callable[[str], None] = lambda _msg: None
+                    ) -> CheckReport:
+    """Run the whole battery; returns per-entry PASS/FAIL results."""
+    from repro.harness.parallel import RunPlan, execute_plan
+    from repro.harness.workloads import Scale, make_app
+
+    if scale is None:
+        scale = Scale.TEST
+    machines = list(machines) if machines is not None \
+        else default_machines()
+    report = CheckReport()
+
+    for seed in FIXED_FUZZ_SEEDS:
+        program = generate_program(seed)
+        log(f"differential fuzz program seed={seed} "
+            f"(nprocs={program['nprocs']}) ...")
+        outcome = run_program(program, machines, jobs=jobs, history=True)
+        report.results.append(CheckResult(
+            name=f"fuzz-{seed} differential + LRC history",
+            ok=outcome.ok, detail=outcome.reason))
+
+    for name in APP_BATTERY:
+        app = make_app(name, scale)
+        log(f"checked run of {name} at scale={scale.value} "
+            f"on {len(machines)} machines ...")
+        with checking():
+            plan = RunPlan()
+            for machine in machines:
+                plan.add(machine, app, nprocs)
+            try:
+                execute_plan(plan, jobs=jobs, cache=None)
+                report.results.append(CheckResult(
+                    name=f"{name} online invariants "
+                         f"(p{nprocs}, all machines)", ok=True))
+            except ReproError as exc:
+                report.results.append(CheckResult(
+                    name=f"{name} online invariants "
+                         f"(p{nprocs}, all machines)",
+                    ok=False, detail=f"{type(exc).__name__}: {exc}"))
+    return report

@@ -1,0 +1,46 @@
+"""Structured protocol events, as seen by the online checkers.
+
+Every hook call materialises one :class:`ProtocolEvent`; the checker
+keeps a bounded trail of them so a :class:`~repro.errors.\
+ConsistencyViolation` can carry the slice of protocol history that led
+to the failure.  Events are plain frozen records — building one is a
+tuple pack, cheap enough to do on every hooked protocol action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One observed protocol action.
+
+    ``kind`` names the action (``interval_closed``, ``notice_applied``,
+    ``fault_begin``, ``swmr_check``, ...); ``details`` holds
+    kind-specific fields as a sorted tuple of pairs so the event stays
+    hashable and cheap to format.
+    """
+
+    kind: str
+    time: float
+    node: int
+    page: Optional[int] = None
+    details: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        parts = [f"{self.kind}(node={self.node}"]
+        if self.page is not None:
+            parts.append(f", page={self.page}")
+        for key, value in self.details:
+            parts.append(f", {key}={value}")
+        parts.append(f") @t={self.time:g}")
+        return "".join(parts)
+
+
+def make_event(kind: str, time: float, node: int,
+               page: Optional[int] = None, **details: Any) -> ProtocolEvent:
+    """Build an event; keyword arguments become sorted detail pairs."""
+    return ProtocolEvent(kind=kind, time=time, node=node, page=page,
+                         details=tuple(sorted(details.items())))

@@ -1,0 +1,102 @@
+"""Post-run LRC/SC history verification.
+
+When history recording is on (``checking(history=True)`` or
+``REPRO_CHECK=history``), the :class:`~repro.check.checker.DsmChecker`
+logs every interval closing, shared read, diff application, and eager
+update — each stamped with the acting node's vector clock at that
+moment.  After the run drains, :func:`verify_lrc_history` replays the
+log and checks the lazy-release-consistency contract:
+
+* **Completeness** — every read observes all writes in its
+  happens-before past: for each page the read touches, every remote
+  interval covered by the reader's vector clock that wrote the page
+  must have been applied (via diff fetch or eager push) before the
+  read completed.  A gap means the read returned a stale value even
+  though synchronization ordered the write before it.
+* **No future reads** — checked *online* at fault time by the
+  :class:`~repro.check.checker.DsmChecker`: a node never applies a
+  diff from an interval outside its happens-before past, so reads
+  cannot observe writes that are not yet ordered before them.  At sync
+  points the two rules together give sequential consistency: the
+  acquirer's clock dominates the releaser's, so the acquirer sees
+  exactly the releaser's ordered history.
+
+Eager (update-protocol) pushes may apply intervals *early* — before
+the receiver's clock covers them.  That is legal under LRC (it only
+narrows the window of staleness; TSP's unsynchronized bound read is
+deliberately racy and benefits from it), so eagerly applied intervals
+are permitted extras, never gaps.
+
+Events are compact tuples (see the ``record_*`` calls in
+``checker.py``) so recording stays cheap; all analysis cost is paid
+once, post-run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.check.events import make_event
+from repro.errors import ConsistencyViolation
+
+# Event shapes (first element is the tag):
+#   ("interval", node, index, pages, vc)    -- interval closed
+#   ("read",     node, first, last, vc)     -- read of pages [first,last)
+#   ("apply",    node, page, ((c, i), ...)) -- fault applied these diffs
+#   ("eager",    node, page, (c, i))        -- eager push applied
+
+HistoryEvent = Tuple
+
+
+def verify_lrc_history(events: Sequence[HistoryEvent],
+                       fail: Callable[..., None]) -> int:
+    """Replay ``events``; call ``fail(reason, event=...)`` on a gap.
+
+    Returns the number of read/page checks performed (useful for
+    asserting the verification actually covered something).
+    """
+    # creator -> [(index, pages)] in closing order (indices ascend).
+    per_creator: Dict[int, List[Tuple[int, frozenset]]] = defaultdict(list)
+    # (node, page) -> set of (creator, index) intervals applied so far.
+    applied: Dict[Tuple[int, int], set] = defaultdict(set)
+    checks = 0
+
+    for ev in events:
+        tag = ev[0]
+        if tag == "interval":
+            _, node, index, pages, _vc = ev
+            per_creator[node].append((index, frozenset(pages)))
+        elif tag == "apply":
+            _, node, page, intervals = ev
+            applied[(node, page)].update(intervals)
+        elif tag == "eager":
+            _, node, page, interval = ev
+            applied[(node, page)].add(interval)
+        elif tag == "read":
+            _, node, first, last, vc = ev
+            for page in range(first, last):
+                seen = applied.get((node, page), ())
+                for creator, closed in per_creator.items():
+                    if creator == node:
+                        continue  # own writes are always visible
+                    upto = vc[creator] if creator < len(vc) else 0
+                    for index, pages in closed:
+                        if index > upto:
+                            break  # indices ascend; rest are future
+                        if page in pages and (creator, index) not in seen:
+                            fail(
+                                "stale read: interval "
+                                f"{creator}:{index} wrote page {page} "
+                                "inside the reader's happens-before "
+                                "past but was never applied at the "
+                                "reader",
+                                event=make_event(
+                                    "history_read", 0.0, node, page,
+                                    missing_interval=(creator, index),
+                                    reader_vc=tuple(vc)))
+                        checks += 1
+        else:  # pragma: no cover - defensive
+            raise ConsistencyViolation(
+                f"unknown history event tag {tag!r}")
+    return checks

@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.check.checker import DsmChecker, active_check_config
 from repro.dsm.diff import estimate_wire_bytes
 from repro.dsm.interval import Interval, IntervalLog
 from repro.dsm.locks import DistributedLocks
@@ -128,6 +129,12 @@ class TreadMarksDsm:
             local_cycles=config.barrier_local_cycles,
         )
         self._merged_vc: Optional[VectorClock] = None
+        #: Online invariant checker (repro.check); None unless a check
+        #: configuration is ambient, so the disabled path costs one
+        #: ``is not None`` test per hooked event.
+        cfg = active_check_config()
+        self.checker: Optional[DsmChecker] = (
+            DsmChecker(self, cfg) if cfg is not None else None)
 
     # ==================================================================
     # interval bookkeeping
@@ -143,6 +150,8 @@ class TreadMarksDsm:
         vc = self.vcs[node]
         index = vc.tick(node)
         interval = Interval(node, index, vc.snapshot(), dirty)
+        if self.checker is not None:
+            self.checker.on_interval_closed(interval)
         self.log.append(interval)
         return interval
 
@@ -165,15 +174,20 @@ class TreadMarksDsm:
                 f"grant delivered from {src} to {dst} without a snapshot")
         snapshot = queue.popleft()
         self._apply_notices(dst, snapshot)
+        if self.checker is not None:
+            self.checker.on_lock_granted(dst, src, snapshot)
 
     def _apply_notices(self, dst: int, upto: VectorClock) -> None:
         table = self.pages[dst]
+        checker = self.checker
         for interval in self.log.newer_than(self.vcs[dst], upto):
             for page, changed in interval.pages.items():
                 wire = estimate_wire_bytes(changed)
                 if table.apply_notice(page, interval.node, wire,
                                       interval.index):
                     self.counters.pages_invalidated += 1
+                if checker is not None:
+                    checker.on_notice_applied(dst, interval, page)
         self.vcs[dst].merge(upto)
 
     # ==================================================================
@@ -203,6 +217,8 @@ class TreadMarksDsm:
         if self._merged_vc is None:
             raise ProtocolError("departure before all arrivals merged")
         self._apply_notices(node, self._merged_vc)
+        if self.checker is not None:
+            self.checker.on_barrier_depart(node, self._merged_vc)
 
     # ==================================================================
     # public node-level operations
@@ -236,6 +252,8 @@ class TreadMarksDsm:
             return
         first, last = self.space.geometry.page_span(addr, nbytes)
         faulting = self.pages[node].invalid_in(first, last)
+        if self.checker is not None:
+            done = self.checker.wrap_read_done(node, first, last, done)
         self._resolve_faults(node, list(faulting), done)
 
     def write(self, node: int, addr: int, nbytes: int, changed_bytes: int,
@@ -270,6 +288,8 @@ class TreadMarksDsm:
         page_bytes = self.config.page_bytes
         cost = 0
         for page in range(first, last):
+            if self.checker is not None:
+                self.checker.on_write(node, page)
             page_lo = page * page_bytes
             page_hi = page_lo + page_bytes
             overlap = min(addr + nbytes, page_hi) - max(addr, page_lo)
@@ -312,6 +332,8 @@ class TreadMarksDsm:
             return
 
         pend = table.begin_fault(page)
+        if self.checker is not None:
+            self.checker.on_fault_begin(node, page, pend)
         job = _FaultJob(node, page, waiters=[done],
                         started=self.engine.now)
         self._inflight[key] = job
@@ -352,6 +374,8 @@ class TreadMarksDsm:
         for index in indices:
             interval = self.log.get(creator, index)
             if interval.diff_pending(job.page):
+                if self.checker is not None:
+                    self.checker.on_diff_created(interval, job.page)
                 interval.diffs_made.add(job.page)
                 create_cost += self.overhead.diff_create_cost(
                     self.config.page_bytes)
@@ -385,14 +409,35 @@ class TreadMarksDsm:
             self._finish_fault(job, time + job.apply_cycles)
 
     def _finish_fault(self, job: _FaultJob, at: int) -> None:
+        if self.checker is not None:
+            self.checker.on_fault_done(job)
         tracer = self.engine.tracer
         if tracer.enabled and at > job.started:
             tracer.complete(job.node, Category.MISS,
                             "remote_fault" if job.remote else "local_fault",
                             job.started, at,
                             track=f"node{job.node}.dsm", page=job.page)
-        self.pages[job.node].revalidate(job.page)
+        table = self.pages[job.node]
         del self._inflight[(job.node, job.page)]
+        if job.page in table.pending:
+            # New write notices landed while this fault was in flight:
+            # a co-resident processor synchronized (multiprocessor
+            # nodes only — a uniprocessor node applies notices only
+            # during its own sync operations).  Revalidating now would
+            # leave the page missing those intervals' diffs and serve
+            # stale data.  On a real SMP node the notice application
+            # re-protects the page and the retried access faults
+            # again, so model exactly that: fault once more, and only
+            # then release the waiters.
+            waiters = list(job.waiters)
+
+            def resume_all(time: int) -> None:
+                for waiter in waiters:
+                    waiter(time)
+
+            self._fault(job.node, job.page, resume_all)
+            return
+        table.revalidate(job.page)
         if self.page_refreshed_hook is not None:
             self.page_refreshed_hook(job.node, job.page)
         for waiter in job.waiters:
@@ -410,6 +455,8 @@ class TreadMarksDsm:
                            pages=len(interval.pages))
         for page, changed in interval.pages.items():
             wire = estimate_wire_bytes(changed)
+            if self.checker is not None:
+                self.checker.on_diff_created(interval, page, eager=True)
             interval.diffs_made.add(page)
             self.counters.diffs_created += 1
             self.counters.diff_bytes_created += changed
@@ -417,6 +464,8 @@ class TreadMarksDsm:
             for other in range(self.config.num_nodes):
                 if other == node or not self.pages[other].is_valid(page):
                     continue
+                if self.checker is not None:
+                    self.checker.on_eager_push(other, interval, page)
                 # The receiver's copy is updated in place: it will not
                 # fault on this interval later.  Mark the interval seen.
                 self.net.send(

@@ -72,5 +72,32 @@ class ProtocolError(SimulationError):
     """A coherence or consistency protocol invariant was violated."""
 
 
+class ConsistencyViolation(ProtocolError):
+    """An online memory-model check failed.
+
+    Raised by the checkers in :mod:`repro.check` when a protocol event
+    breaks an invariant of the memory model the machine claims to
+    implement (SWMR for hardware coherence, interval/vector-clock and
+    page-state rules for LRC).  Carries the offending event, the
+    simulated time, and a bounded trail of the protocol events that
+    preceded it — enough to replay the failing slice by hand.
+    """
+
+    def __init__(self, reason, *, event=None, now=None, trail=()):
+        self.reason = reason
+        self.event = event
+        self.now = now
+        self.trail = tuple(trail)
+        msg = reason
+        if event is not None:
+            msg += f" [event: {event}]"
+        if now is not None:
+            msg += f" at cycle {now}"
+        if self.trail:
+            msg += (f" (trail: {len(self.trail)} preceding protocol "
+                    f"events attached)")
+        super().__init__(msg)
+
+
 class AddressError(ReproError):
     """An access fell outside the allocated shared regions."""

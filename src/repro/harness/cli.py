@@ -97,6 +97,44 @@ def build_parser() -> argparse.ArgumentParser:
                            default=Scale.BENCH.value)
     _add_exec_options(validator)
     validator.set_defaults(func=cmd_validate)
+
+    checker = sub.add_parser(
+        "check",
+        help="run the checked conformance battery (online invariant "
+             "checkers + differential fuzz programs) on all machines")
+    checker.add_argument("--scale", choices=[s.value for s in Scale],
+                         default=Scale.TEST.value,
+                         help="problem-size scale for the application "
+                              "entries (default: test)")
+    checker.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallel simulation workers "
+                              "(0 = all cores; default: 1)")
+    checker.set_defaults(func=cmd_check)
+
+    fuzzer = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz random DRF programs across all five "
+             "machine models with the consistency checkers armed")
+    fuzzer.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    fuzzer.add_argument("--iters", type=int, default=50, metavar="N",
+                        help="number of random programs (default: 50)")
+    fuzzer.add_argument("--shrink", dest="shrink", action="store_true",
+                        default=True,
+                        help="shrink failures to a minimal reproducer "
+                             "(default)")
+    fuzzer.add_argument("--no-shrink", dest="shrink",
+                        action="store_false",
+                        help="keep failing programs as generated")
+    fuzzer.add_argument("--seeds-dir", metavar="PATH", default=None,
+                        help="regression-seed directory; persisted "
+                             "failures are replayed first and new "
+                             "minimal repros saved here (default: "
+                             "tests/fuzz_seeds)")
+    fuzzer.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel simulation workers "
+                             "(0 = all cores; default: 1)")
+    fuzzer.set_defaults(func=cmd_fuzz)
     return parser
 
 
@@ -253,6 +291,35 @@ def cmd_validate(args: argparse.Namespace) -> int:
         print(line)
     _report_cache(cache)
     return 0 if all(ok for _c, ok in results) else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.conformance import run_conformance
+    report = run_conformance(Scale(args.scale), jobs=args.jobs,
+                             log=print)
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check.fuzz import SEEDS_DIRNAME, fuzz_run, load_seeds
+    seeds_dir = args.seeds_dir or SEEDS_DIRNAME
+    regressions = load_seeds(seeds_dir)
+    if regressions:
+        print(f"replaying {len(regressions)} persisted regression "
+              f"seed(s) from {seeds_dir}")
+    report = fuzz_run(args.seed, args.iters, shrink=args.shrink,
+                      seeds_dir=seeds_dir, jobs=args.jobs,
+                      regression_programs=regressions, log=print)
+    status = "PASS" if report.ok else "FAIL"
+    print(f"[{status}] fuzz campaign seed={args.seed}: "
+          f"{report.programs_run} programs "
+          f"({len(regressions)} regression + {report.iterations} "
+          f"random), {len(report.failures)} failure(s)")
+    for outcome in report.failures:
+        print(f"  - {outcome.reason}")
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

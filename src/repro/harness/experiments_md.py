@@ -208,8 +208,57 @@ def build(results_dir: str) -> str:
             lines.append("*(no archived result — run the benchmark "
                          "suite first)*")
         lines.append("")
+    lines.extend(_correctness())
     lines.extend(_deviations())
     return "\n".join(lines) + "\n"
+
+
+def _correctness() -> list:
+    return [
+        "## Correctness checking (repro.check)",
+        "",
+        "Every number above assumes the five machine models implement "
+        "their",
+        "memory models correctly.  `repro.check` makes that assumption "
+        "testable",
+        "without perturbing any of the results: the checkers only "
+        "observe, so an",
+        "armed run finishes in exactly the same simulated cycle as an "
+        "unarmed one",
+        "(asserted by `benchmarks/bench_check_overhead.py`, which "
+        "writes",
+        "`BENCH_check_overhead.json`).",
+        "",
+        "* `repro-harness check [--scale test]` — runs the fixed fuzz "
+        "seeds plus",
+        "  the SOR/TSP/Water battery on all five machines with the "
+        "online",
+        "  invariant checkers armed (SWMR for the hardware models; "
+        "interval",
+        "  monotonicity, diff-covers-twin and no-write-to-invalid-page "
+        "for the",
+        "  LRC models) and the post-run LRC history verifier.  A "
+        "violation",
+        "  raises `ConsistencyViolation` naming the offending protocol "
+        "event,",
+        "  its simulated time, and a replayable slice of the "
+        "preceding trace.",
+        "* `repro-harness fuzz --seed 0 --iters 50` — differential "
+        "fuzzing:",
+        "  seeded random data-race-free programs run on all five "
+        "machines, final",
+        "  memory images and checker verdicts diffed.  Failures "
+        "shrink to a",
+        "  minimal program (`--no-shrink` to skip) and persist under",
+        "  `tests/fuzz_seeds/`, which the test suite replays forever "
+        "after.",
+        "* `REPRO_CHECK=1 python -m pytest` — the whole tier-1 suite "
+        "with online",
+        "  checkers armed (`REPRO_CHECK=history` adds history "
+        "recording); one CI",
+        "  leg runs this way.",
+        "",
+    ]
 
 
 def _deviations() -> list:

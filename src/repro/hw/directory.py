@@ -16,6 +16,7 @@ from typing import List
 
 import numpy as np
 
+from repro.check.checker import DirectoryChecker, active_check_config
 from repro.errors import ConfigurationError
 from repro.mem.directcache import DirectMappedCache, EXCLUSIVE
 from repro.net.crossbar import CrossbarNetwork
@@ -62,6 +63,11 @@ class DirectorySystem:
         self.sharers = np.zeros(total_lines, dtype=np.uint64)
         total_pages = max(1, total_lines // lines_per_page)
         self._page_home = np.full(total_pages, -1, dtype=np.int32)
+        #: Online directory/SWMR checker (repro.check); None unless
+        #: armed.
+        cfg = active_check_config()
+        self.checker = (DirectoryChecker(self, cfg)
+                        if cfg is not None else None)
 
     # ------------------------------------------------------------------
     def home_of(self, lines: np.ndarray) -> np.ndarray:
@@ -174,7 +180,10 @@ class DirectorySystem:
         self._handle_evictions(proc, res)
 
         end_ports = self._charge_ports(proc, lines, now + latency)
-        return max(now + latency, end_ports)
+        end = max(now + latency, end_ports)
+        if self.checker is not None:
+            self.checker.after_op("read", proc, end)
+        return end
 
     def write(self, proc: int, first_line: int, last_line: int,
               now: int) -> int:
@@ -232,23 +241,36 @@ class DirectorySystem:
         self._handle_evictions(proc, res)
 
         end_ports = self._charge_ports(proc, need_own, now + latency)
-        return max(now + latency, end_ports)
+        end = max(now + latency, end_ports)
+        if self.checker is not None:
+            self.checker.after_op("write", proc, end)
+        return end
 
     # ------------------------------------------------------------------
     def _handle_evictions(self, proc: int, res) -> None:
-        """Deregister evicted lines (dirty ones write back to home)."""
+        """Deregister evicted lines (dirty ones write back to home).
+
+        A bulk access longer than the cache may evict a line in one
+        chunk and refetch it in a later chunk of the same access; such
+        a line ends the access resident, so its registration (done
+        before this call) must survive even though the interim
+        eviction's writeback traffic is real.
+        """
+        cache = self.caches[proc]
         if res.evicted_dirty_lines.size:
-            mine = res.evicted_dirty_lines[
-                self.owner[res.evicted_dirty_lines] == proc]
-            self.owner[mine] = -1
-            self.sharers[res.evicted_dirty_lines] &= ~self._bit(proc)
             self.counters.writebacks += int(res.evicted_dirty_lines.size)
+            refetched, _dirty = cache.probe_lines(res.evicted_dirty_lines)
+            gone = res.evicted_dirty_lines[~refetched]
+            mine = gone[self.owner[gone] == proc]
+            self.owner[mine] = -1
+            self.sharers[gone] &= ~self._bit(proc)
         if res.evicted_clean_lines.size:
             # Clean EXCLUSIVE victims also drop directory ownership.
-            mine = res.evicted_clean_lines[
-                self.owner[res.evicted_clean_lines] == proc]
+            refetched, _dirty = cache.probe_lines(res.evicted_clean_lines)
+            gone = res.evicted_clean_lines[~refetched]
+            mine = gone[self.owner[gone] == proc]
             self.owner[mine] = -1
-            self.sharers[res.evicted_clean_lines] &= ~self._bit(proc)
+            self.sharers[gone] &= ~self._bit(proc)
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

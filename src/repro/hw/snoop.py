@@ -15,7 +15,8 @@ from typing import List
 
 import numpy as np
 
-from repro.mem.directcache import (DirectMappedCache, EXCLUSIVE, SHARED)
+from repro.check.checker import SnoopChecker, active_check_config
+from repro.mem.directcache import DirectMappedCache, EXCLUSIVE
 from repro.net.bus import BusModel
 from repro.stats.counters import Counters
 from repro.trace.tracer import Category
@@ -40,6 +41,9 @@ class SnoopingSystem:
         #: nodes, which the paper grants "sufficient bus bandwidth to
         #: avoid contention") release it and only the requester waits.
         self.hold_bus_during_memory = hold_bus_during_memory
+        #: Online SWMR checker (repro.check); None unless armed.
+        cfg = active_check_config()
+        self.checker = SnoopChecker(self, cfg) if cfg is not None else None
 
     # ------------------------------------------------------------------
     def _others_with(self, proc: int, lines: np.ndarray):
@@ -109,20 +113,23 @@ class SnoopingSystem:
         self.counters.cache_to_cache += n_c2c
         self.counters.cache_misses_local += res.misses
 
-        # Dirty suppliers are downgraded to SHARED (and memory is
-        # updated); lines nobody else holds fill EXCLUSIVE.
+        # Every peer copy of a missed line is downgraded to SHARED:
+        # dirty suppliers flush (memory is updated), and clean
+        # EXCLUSIVE holders lose exclusivity — otherwise a later write
+        # by them would silently hit on E and break single-writer.
+        # Lines nobody else holds fill EXCLUSIVE.
         for q, other in enumerate(self.caches):
             if q == proc:
                 continue
-            _present, dirty = other.probe_lines(res.miss_lines)
-            if dirty.any():
-                other.promote(res.miss_lines[dirty], SHARED)
+            other.downgrade_lines(res.miss_lines)
         exclusive_fill = res.miss_lines[~any_present]
         cache.promote(exclusive_fill, EXCLUSIVE)
 
         end = self._miss_service(now + hit_cost, res.misses,
                                  res.writebacks, 0)
         self.counters.writebacks += res.writebacks
+        if self.checker is not None:
+            self.checker.after_op("read", proc, end)
         return end
 
     def write(self, proc: int, first_line: int, last_line: int,
@@ -152,4 +159,6 @@ class SnoopingSystem:
                                  res.writebacks,
                                  res.upgrades)
         self.counters.writebacks += res.writebacks
+        if self.checker is not None:
+            self.checker.after_op("write", proc, end)
         return end

@@ -72,6 +72,8 @@ class DirectoryRuntime(Runtime):
 
     def finish_run(self) -> None:
         self.counters.barriers = self.barrier.completed
+        if self.directory.checker is not None:
+            self.directory.checker.finish()
 
 
 class AllHardwareMachine(Machine):

@@ -17,6 +17,7 @@ from typing import Any, Dict, Optional
 
 from repro.apps.base import AppContext, Application
 from repro.apps import ops
+from repro.check.checker import active_check_config
 from repro.dsm.bound import BoundMode, SharedBound
 from repro.errors import ConfigurationError, SimulationError
 from repro.mem.layout import AddressSpace, Geometry
@@ -181,6 +182,12 @@ class Machine:
             # behaviourally identical to no plan, and must share cache
             # entries with clean runs (zero-overhead-when-disabled).
             data["faults"] = fingerprint_value(faults)
+        check_cfg = active_check_config()
+        if check_cfg is not None:
+            # Checked runs are timing-identical to clean ones, but a
+            # cached result would skip the checkers entirely; fork the
+            # key so "run with checks" always actually checks.
+            data["check"] = check_cfg.label()
         return data
 
     def fingerprint(self, nprocs: Optional[int] = None) -> str:

@@ -74,6 +74,13 @@ class HybridRuntime(Runtime):
         # (node, barrier_id) -> list of (proc, task) waiting locally
         self._node_barrier: Dict[Tuple[int, int], List[ProcTask]] = {}
 
+    def finish_run(self) -> None:
+        if self.dsm.checker is not None:
+            self.dsm.checker.finish()
+        for snoop in self.node_snoops:
+            if snoop.checker is not None:
+                snoop.checker.finish()
+
     # ------------------------------------------------------------------
     def node_of(self, proc: int) -> int:
         return proc // self.ppn

@@ -62,6 +62,8 @@ class SnoopRuntime(Runtime):
 
     def finish_run(self) -> None:
         self.counters.barriers = self.barrier.completed
+        if self.snoop.checker is not None:
+            self.snoop.checker.finish()
 
 
 class SgiMachine(Machine):

@@ -48,6 +48,10 @@ class DsmRuntime(Runtime):
             for p in range(nprocs)
         ]
 
+    def finish_run(self) -> None:
+        if self.dsm.checker is not None:
+            self.dsm.checker.finish()
+
     # ------------------------------------------------------------------
     def _local_cost(self, proc: int, addr: int, nbytes: int,
                     write: bool) -> int:
@@ -158,6 +162,7 @@ class PagedDsmMachine(Machine):
         software-DSM variant with the same local machine shares one
         cached baseline.
         """
+        from repro.check.checker import active_check_config
         from repro.machines.base import fingerprint_value
         data = {
             "class": "PagedDsmMachine",
@@ -165,6 +170,11 @@ class PagedDsmMachine(Machine):
             "page_bytes": self.page_bytes,
             "cache": fingerprint_value(self.cache),
         }
+        check_cfg = active_check_config()
+        if check_cfg is not None:
+            # Checked runs must never reuse (or seed) unchecked cache
+            # entries — the checkers would silently not run.
+            data["check"] = check_cfg.label()
         if nprocs == 1:
             data["uniprocessor_baseline"] = True
             return data

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,21 @@ from repro.net.atm import AtmNetwork
 from repro.net.overhead import OverheadPreset
 from repro.sim.engine import Engine
 from repro.stats.counters import Counters
+
+
+@pytest.fixture
+def rng(request):
+    """Per-test deterministic RNG, seeded from the test's node id.
+
+    Every test that wants randomness takes this fixture instead of
+    constructing its own ``np.random.default_rng(...)``: runs are
+    reproducible, reruns of a single test see the same stream, and
+    distinct tests get distinct streams.  (Applications that generate
+    *data content* still seed their own RNGs from value tuples — that
+    content must be identical across machines and worker processes,
+    not per-test.)
+    """
+    return np.random.default_rng(zlib.crc32(request.node.nodeid.encode()))
 
 
 @pytest.fixture

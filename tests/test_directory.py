@@ -101,9 +101,31 @@ def test_eviction_deregisters():
     system.check_invariants()
 
 
-def test_directory_invariants_after_random_script():
+def test_bulk_refetch_in_one_access_keeps_registration():
+    """A bulk access longer than the cache may evict a line in one
+    chunk and refetch it in a later chunk of the same access (with 8
+    sets, write(15, 34) evicts line 32 when line 24 fills set 0, then
+    write(24, 33)'s second chunk refetches it).  The refetched copy
+    ends the access resident, so it must stay directory-registered —
+    a deregistered-but-resident copy would be invisible to later
+    invalidations.
+    """
+    system, _ = make_system(cache_lines=8)
+    system.write(1, 15, 34, now=0)
+    system.write(1, 24, 33, now=10_000)
+    assert system.caches[1].state_of(32) == MODIFIED
+    assert system.owner[32] == 1
+    assert system.sharers[32] == np.uint64(1) << np.uint64(1)
+    system.check_invariants()
+    # The interim eviction's writeback must still invalidate cleanly:
+    # another writer takes the line over in full.
+    system.write(2, 32, 33, now=20_000)
+    assert system.caches[1].state_of(32) != MODIFIED
+    assert system.owner[32] == 2
+
+
+def test_directory_invariants_after_random_script(rng):
     system, _ = make_system()
-    rng = np.random.default_rng(1)
     now = 0
     for _ in range(100):
         proc = int(rng.integers(4))

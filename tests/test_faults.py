@@ -392,3 +392,75 @@ def test_enabled_plan_arms_machine_watchdog():
         faults=FaultPlan(loss_rate=0.01, watchdog_cycles=123_456))
     assert machine.watchdog_cycles == 123_456
     assert DecTreadMarksMachine().watchdog_cycles is None
+
+
+# ----------------------------------------------------------------------
+# Backoff edges: budget boundaries, late duplicates, stalled retries
+# ----------------------------------------------------------------------
+
+def _drop_first_n(n):
+    """A schedule dropping exactly the first ``n`` diff_request frames."""
+    return tuple(FaultRule("drop", kind="diff_request", nth=k)
+                 for k in range(1, n + 1))
+
+
+def test_retry_budget_exactly_not_exhausted(atm, engine, counters):
+    """max_retries retries dropped, final attempt delivered: the last
+    grain of budget is enough."""
+    retries = 3
+    net = ReliableNetwork(atm, FaultPlan(
+        schedule=_drop_first_n(retries), max_retries=retries))
+    arrived = _deliveries(net, engine, [(0, 1)])
+    assert len(arrived[0]) == 1
+    assert counters.retransmissions == retries
+    assert counters.timeouts == retries
+
+
+def test_retry_budget_exactly_exhausted(atm, engine, counters):
+    """One more drop than the budget: the attempt count hits
+    1 + max_retries and the timeout raises instead of rearming."""
+    retries = 3
+    net = ReliableNetwork(atm, FaultPlan(
+        schedule=_drop_first_n(retries + 1), max_retries=retries))
+    net.send(0, 1, 128, kind=MsgKind.DIFF_REQUEST)
+    with pytest.raises(NetworkPartitionError) as err:
+        engine.run()
+    assert err.value.attempts == retries + 1
+    assert counters.timeouts == retries + 1
+    # Backoff doubled every round: rto * (2^(retries+1) - 1) total.
+    base_rto = max(1, int(net.plan.rto_multiplier *
+                          atm.roundtrip_estimate(128)))
+    assert counters.timeout_cycles == (2 ** (retries + 1) - 1) * base_rto
+
+
+def test_duplicate_after_timeout_is_suppressed(atm, engine, counters):
+    """Attempt 1 dropped, the retransmission duplicated: both copies
+    of attempt 2 arrive after a real timeout, and delivery is still
+    exactly-once with the extra copy counted as a dropped duplicate."""
+    net = ReliableNetwork(atm, FaultPlan(schedule=(
+        FaultRule("drop", kind="diff_request", nth=1),
+        FaultRule("dup", kind="diff_request", nth=2))))
+    base_rto = max(1, int(net.plan.rto_multiplier *
+                          atm.roundtrip_estimate(128)))
+    arrived = _deliveries(net, engine, [(0, 1)])
+    assert len(arrived[0]) == 1                  # exactly once
+    assert arrived[0][0] >= base_rto             # after the timeout wait
+    assert counters.timeouts == 1                # the timer really fired
+    assert counters.retransmissions == 1
+    assert counters.duplicates_dropped == 1      # second copy suppressed
+
+
+def test_retransmission_defers_under_stall_window(atm, engine, counters):
+    """First frame dropped; the receiver stalls over the timeout: the
+    retransmission waits for the window to close instead of sending
+    into the stall."""
+    base_rto = max(1, int(4.0 * atm.roundtrip_estimate(128)))
+    window_end = 3 * base_rto
+    net = ReliableNetwork(atm, FaultPlan(
+        schedule=_drop_first_n(1),
+        stalls=(StallWindow(1, 1, window_end),)))
+    arrived = _deliveries(net, engine, [(0, 1)])
+    assert len(arrived[0]) == 1
+    assert counters.stall_deferrals == 1
+    assert counters.retransmissions == 1
+    assert arrived[0][0] >= window_end           # held until the close

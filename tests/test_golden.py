@@ -1,0 +1,72 @@
+"""Golden-file regression pins: fig-3-style speedup series.
+
+Pins the exact simulated cycle counts (and derived speedups) of the
+SOR / TSP / Water speedup curves on all five machine models at TEST
+scale.  The simulator is deterministic, so any drift here is a real
+behaviour change: either an intended protocol/timing change — then
+regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden.py
+
+and commit the diff with an explanation — or an accidental regression
+this test just caught.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.runner import compare_machines
+from repro.harness.workloads import Scale, make_app
+from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
+                            DecTreadMarksMachine, HybridMachine,
+                            SgiMachine)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "speedups.json")
+WORKLOADS = ("sor_small", "tsp18", "water")
+PROCS = (2, 8)
+
+
+def compute_current():
+    machines = [DecTreadMarksMachine(), SgiMachine(),
+                AllSoftwareMachine(), AllHardwareMachine(),
+                HybridMachine()]
+    data = {}
+    for workload in WORKLOADS:
+        app = make_app(workload, Scale.TEST)
+        for name, series in compare_machines(machines, app,
+                                             PROCS).items():
+            data[f"{workload}/{name}"] = {
+                "cycles": {str(r.nprocs): r.cycles
+                           for r in series.points},
+                "speedups": {str(n): round(s, 9)
+                             for n, s in series.speedups().items()},
+            }
+    return data
+
+
+def test_speedup_series_match_golden_file():
+    current = compute_current()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail(f"golden file missing: {GOLDEN_PATH}; run with "
+                    "REPRO_REGEN_GOLDEN=1 to create it")
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    assert current.keys() == golden.keys(), (
+        "speedup-series key set changed")
+    for key in sorted(golden):
+        assert current[key]["cycles"] == golden[key]["cycles"], (
+            f"simulated cycles drifted for {key}: "
+            f"{golden[key]['cycles']} -> {current[key]['cycles']}")
+        assert current[key]["speedups"] == golden[key]["speedups"], (
+            f"speedups drifted for {key}")
