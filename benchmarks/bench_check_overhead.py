@@ -19,10 +19,10 @@ Run with::
 from __future__ import annotations
 
 import contextlib
-import json
 import os
 import time
 
+from _common import write_bench_json
 from repro.check import checking
 from repro.harness.workloads import Scale, make_app
 from repro.machines.all_hardware import AllHardwareMachine
@@ -96,10 +96,7 @@ def main() -> int:
               f"online=+{entry['overhead_online']:.1%} "
               f"history=+{entry['overhead_history']:.1%}")
 
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    write_bench_json(OUT_PATH, report)
     return 0
 
 

@@ -24,12 +24,12 @@ Writes ``BENCH_parallel_runner.json`` at the repo root.  Run with::
 
 from __future__ import annotations
 
-import json
 import os
 import shutil
 import tempfile
 import time
 
+from _common import write_bench_json
 from repro.harness.cache import ResultCache
 from repro.harness.parallel import RunPlan, execute_plan
 from repro.harness.workloads import Scale, make_app
@@ -96,10 +96,7 @@ def main() -> int:
               f"(x{seconds['serial'] / secs:.2f} vs serial)")
     print(f"cold cache: {cold_stats}; warm cache: {warm_stats}")
 
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    write_bench_json(OUT_PATH, report)
     return 0
 
 

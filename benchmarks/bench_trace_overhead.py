@@ -17,10 +17,10 @@ Run with::
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
+from _common import write_bench_json
 from repro.harness.workloads import Scale, make_app
 from repro.machines.dec_treadmarks import DecTreadMarksMachine
 from repro.machines.sgi import SgiMachine
@@ -93,10 +93,7 @@ def main() -> int:
               f"metrics=+{entry['overhead_metrics']:.1%} "
               f"full=+{entry['overhead_full']:.1%}")
 
-    with open(OUT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {os.path.normpath(OUT_PATH)}")
+    write_bench_json(OUT_PATH, report)
     return 0
 
 

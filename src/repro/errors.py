@@ -80,7 +80,10 @@ class ConsistencyViolation(ProtocolError):
     implement (SWMR for hardware coherence, interval/vector-clock and
     page-state rules for LRC).  Carries the offending event, the
     simulated time, and a bounded trail of the protocol events that
-    preceded it — enough to replay the failing slice by hand.
+    preceded it — enough to replay the failing slice by hand.  Inside
+    a provenance-ledger session, ``run_id`` names the ledger record of
+    the violating run, so the report correlates with the exact code
+    version, fault plan, and workload that produced it.
     """
 
     def __init__(self, reason, *, event=None, now=None, trail=()):
@@ -88,11 +91,17 @@ class ConsistencyViolation(ProtocolError):
         self.event = event
         self.now = now
         self.trail = tuple(trail)
+        # Lazy import: errors is imported by everything, including the
+        # ledger package itself.
+        from repro.ledger import current_run_id
+        self.run_id = current_run_id()
         msg = reason
         if event is not None:
             msg += f" [event: {event}]"
         if now is not None:
             msg += f" at cycle {now}"
+        if self.run_id is not None:
+            msg += f" [run {self.run_id}]"
         if self.trail:
             msg += (f" (trail: {len(self.trail)} preceding protocol "
                     f"events attached)")

@@ -65,6 +65,23 @@ def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
 
 
+def default_ledger_path(cache_dir: Optional[str] = None) -> str:
+    """Where the provenance ledger lives: ``$REPRO_LEDGER`` or
+    ``<cache root>/ledger.jsonl``.
+
+    The ledger sits beside the cache because the two describe the
+    same content-addressed runs: cache entries are the *results*,
+    ledger records the *attempts* (including hits) that produced or
+    served them.
+    """
+    from repro.ledger.ledger import LEDGER_ENV
+    explicit = os.environ.get(LEDGER_ENV)
+    if explicit:
+        return explicit
+    return os.path.join(cache_dir or default_cache_dir(),
+                        "ledger.jsonl")
+
+
 def app_fingerprint_data(app: Application) -> Dict[str, Any]:
     """Stable data identifying a workload (class + configuration).
 

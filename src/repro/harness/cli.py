@@ -8,6 +8,7 @@ Usage::
     repro-harness run fig3 --metrics-out metrics.jsonl --no-cache
     repro-harness validate --jobs 0            # 0 = all cores
     repro-harness trace fig3 --scale test
+    repro-harness report --check --figures fig3,fig6
 
 ``run`` and ``validate`` fan independent simulations out over ``--jobs``
 worker processes and reuse results from the content-addressed cache
@@ -16,6 +17,14 @@ worker processes and reuse results from the content-addressed cache
 guaranteed not to change any number (see ``repro.harness.parallel``).
 ``trace`` always simulates serially and afresh — spans must be
 collected live in-process.
+
+Every simulated or cache-served run appends one record to the
+append-only provenance ledger (``--ledger``, default
+``<cache>/ledger.jsonl`` or ``$REPRO_LEDGER``; ``--no-ledger``
+disables), and per-run start/done progress streams to stderr
+(``--quiet`` suppresses).  ``report`` regenerates the committed
+goldens and figure data through the ledger + cache and, with
+``--check``, exits non-zero on any drift.
 """
 
 from __future__ import annotations
@@ -28,10 +37,12 @@ import time
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
-from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.cache import (ResultCache, default_cache_dir,
+                                 default_ledger_path)
 from repro.harness.experiments import (REGISTRY, Scale, fault_sweep_options,
                                        list_experiments, run_experiment)
 from repro.harness.parallel import run_context
+from repro.ledger import Ledger, ledger_session
 from repro.net.faults import parse_schedule
 from repro.trace import (trace_session, write_chrome_trace,
                          write_metrics_jsonl)
@@ -98,6 +109,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_options(validator)
     validator.set_defaults(func=cmd_validate)
 
+    reporter = sub.add_parser(
+        "report",
+        help="regenerate committed goldens and figure data from the "
+             "ledger-backed cache; detect drift")
+    reporter.add_argument("--figures", metavar="IDS", default=None,
+                          help="comma-separated figure experiment ids "
+                               "(default: fig3,fig6)")
+    reporter.add_argument("--scale", choices=[s.value for s in Scale],
+                          default=Scale.TEST.value,
+                          help="problem-size scale (default: test)")
+    reporter.add_argument("--check", action="store_true",
+                          help="exit non-zero if any regenerated "
+                               "artifact drifts from the committed one")
+    reporter.add_argument("--write", action="store_true",
+                          help="rewrite the committed artifacts with "
+                               "the regenerated data")
+    reporter.add_argument("--drift-out", metavar="PATH", default=None,
+                          help="also write the structured drift "
+                               "document (JSON) here")
+    _add_exec_options(reporter)
+    reporter.set_defaults(func=cmd_report)
+
     checker = sub.add_parser(
         "check",
         help="run the checked conformance battery (online invariant "
@@ -139,7 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_exec_options(sub: argparse.ArgumentParser) -> None:
-    """--jobs / --cache-dir / --no-cache, shared by run and validate."""
+    """--jobs / cache / ledger / progress options, shared by the
+    simulation-heavy subcommands (run, validate, report)."""
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="run up to N independent simulations in "
                           "parallel worker processes (0 = all cores; "
@@ -150,6 +184,13 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--no-cache", action="store_true",
                      help="simulate every point afresh, and store "
                           "nothing")
+    sub.add_argument("--ledger", metavar="PATH", default=None,
+                     help="append-only provenance ledger (default: "
+                          "$REPRO_LEDGER or <cache dir>/ledger.jsonl)")
+    sub.add_argument("--no-ledger", action="store_true",
+                     help="record no provenance")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress per-run progress lines on stderr")
 
 
 def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -158,9 +199,22 @@ def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     return ResultCache(args.cache_dir or default_cache_dir())
 
 
-def _report_cache(cache: Optional[ResultCache]) -> None:
+def _make_ledger(args: argparse.Namespace) -> Optional[Ledger]:
+    if args.no_ledger:
+        return None
+    path = args.ledger or default_ledger_path(args.cache_dir)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    return Ledger(path)
+
+
+def _report_cache(cache: Optional[ResultCache],
+                  ledger: Optional[Ledger] = None) -> None:
     if cache is not None:
         print(cache.format_stats())
+    if ledger is not None and ledger.appended:
+        print(f"[ledger] appended={ledger.appended} path={ledger.path}")
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -209,6 +263,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     cache = _make_cache(args)
+    ledger = _make_ledger(args)
 
     def run_all() -> None:
         for exp_id in ids:
@@ -223,7 +278,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     fault_ctx = (fault_sweep_options(**fault_overrides)
                  if fault_overrides else contextlib.nullcontext())
-    with fault_ctx, run_context(jobs=args.jobs, cache=cache):
+    with fault_ctx, ledger_session(ledger), \
+            run_context(jobs=args.jobs, cache=cache, ledger=ledger,
+                        quiet=args.quiet):
         if args.metrics_out:
             # Metrics-only session: collects every run with zero
             # per-event overhead (no tracers are created).
@@ -235,7 +292,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"{args.metrics_out}")
         else:
             run_all()
-    _report_cache(cache)
+    _report_cache(cache, ledger)
     return 0
 
 
@@ -285,12 +342,52 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validate import format_results, run_validation
     cache = _make_cache(args)
-    with run_context(jobs=args.jobs, cache=cache):
+    ledger = _make_ledger(args)
+    with ledger_session(ledger), \
+            run_context(jobs=args.jobs, cache=cache, ledger=ledger,
+                        quiet=args.quiet):
         results = run_validation(Scale(args.scale))
     for line in format_results(results):
         print(line)
-    _report_cache(cache)
+    _report_cache(cache, ledger)
     return 0 if all(ok for _c, ok in results) else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.harness.report import DEFAULT_FIGURES, run_report
+    figures = DEFAULT_FIGURES
+    if args.figures:
+        figures = tuple(f for f in args.figures.split(",") if f)
+    unknown = [f for f in figures if f not in REGISTRY]
+    if unknown:
+        print(f"unknown figure ids: {unknown}", file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
+    ledger = _make_ledger(args)
+    with ledger_session(ledger), \
+            run_context(jobs=args.jobs, cache=cache, ledger=ledger,
+                        quiet=args.quiet):
+        outcome = run_report(figures=figures, scale=Scale(args.scale),
+                             write=args.write, log=print)
+    _report_cache(cache, ledger)
+    if args.drift_out:
+        with open(args.drift_out, "w") as fh:
+            _json.dump(outcome.drift_document(), fh, indent=2,
+                       sort_keys=True)
+            fh.write("\n")
+        print(f"wrote drift document to {args.drift_out}")
+    if outcome.drifts:
+        print(f"[report] DRIFT: {len(outcome.drifts)} mismatched "
+              f"value(s)", file=sys.stderr)
+        for drift in outcome.drifts:
+            print(f"  {drift.line()}", file=sys.stderr)
+        if args.check:
+            return 2
+    elif args.check:
+        print("[report] OK: no drift")
+    return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:

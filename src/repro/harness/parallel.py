@@ -32,22 +32,49 @@ Tracing interacts specially: inside a ``trace_session(trace=True)``
 scope, spans must be collected live in this process, so plans execute
 serially and bypass the cache (the deduplicated work list is
 unchanged, keeping traced and untraced run counts equal).
+
+Provenance and progress
+-----------------------
+
+When a :class:`~repro.ledger.Ledger` is in scope (via
+:func:`~repro.ledger.ledger_session`, the ambient :func:`run_context`,
+or the ``ledger=`` argument), every unique run of a plan appends one
+append-only provenance record: misses record the simulation (code
+version, fingerprints, fault plan, checker arming, wall time), cache
+hits record the serve with a ``produced_by`` pointer to the producing
+run_id.  The allocated ``run_id`` rides inside the worker via
+:func:`~repro.ledger.run_scope`, so the returned ``RunResult`` (and
+any metrics line or trace derived from it) carries the same identity
+the ledger recorded.
+
+Unless ``quiet``, per-run ``start``/``done`` lines stream to stderr —
+workers print their own start lines (enabled through the
+``REPRO_PROGRESS`` environment variable, which spawned processes
+inherit) and the parent prints completions with wall time and a
+running done/total count — so long sweeps are never silent.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.apps.base import Application
 from repro.harness.cache import ResultCache, run_key
+from repro.ledger import Ledger, active_ledger, run_record, run_scope
 from repro.machines.base import Machine
 from repro.stats.result import RunResult
 from repro.trace import session as trace_session
+
+#: Environment flag that tells pool workers to print start lines;
+#: set (and restored) by :func:`execute_plan` when progress is on.
+PROGRESS_ENV = "REPRO_PROGRESS"
 
 
 @dataclass(frozen=True)
@@ -96,10 +123,17 @@ class RunPlan:
 # ======================================================================
 @dataclass
 class RunContext:
-    """Execution defaults installed by the CLI (or tests)."""
+    """Execution defaults installed by the CLI (or tests).
+
+    ``quiet`` defaults to True for library/test use; the CLI flips it
+    so interactive sweeps stream per-run progress by default
+    (suppressed again with ``--quiet``).
+    """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
+    ledger: Optional[Ledger] = None
+    quiet: bool = True
 
 
 _CONTEXT_STACK: List[RunContext] = []
@@ -107,15 +141,17 @@ _CONTEXT_STACK: List[RunContext] = []
 
 @contextmanager
 def run_context(*, jobs: int = 1,
-                cache: Optional[ResultCache] = None
-                ) -> Iterator[RunContext]:
+                cache: Optional[ResultCache] = None,
+                ledger: Optional[Ledger] = None,
+                quiet: bool = True) -> Iterator[RunContext]:
     """Scope within which plans default to ``jobs`` workers + ``cache``.
 
     The experiment registry calls :func:`execute_plan` without
     threading options through every figure function; the CLI installs
-    one context around a whole command instead.
+    one context around a whole command instead.  ``ledger`` makes
+    every plan executed in the scope append provenance records.
     """
-    ctx = RunContext(jobs=jobs, cache=cache)
+    ctx = RunContext(jobs=jobs, cache=cache, ledger=ledger, quiet=quiet)
     _CONTEXT_STACK.append(ctx)
     try:
         yield ctx
@@ -140,11 +176,33 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 # ======================================================================
 # Execution
 # ======================================================================
-def _run_spec(spec: RunSpec) -> RunResult:
-    """Execute one spec with session auto-record suppressed."""
-    with trace_session.no_session():
-        return spec.machine.run(spec.app, spec.nprocs,
-                                seed=spec.seed, params=spec.params)
+def _spec_label(spec: RunSpec) -> str:
+    return f"{spec.machine.name}/{spec.app.name}/p{spec.nprocs}"
+
+
+def _run_spec(spec: RunSpec,
+              run_id: Optional[str] = None) -> Tuple[RunResult, float]:
+    """Execute one spec; returns ``(result, wall_seconds)``.
+
+    Runs with session auto-record suppressed (the plan layer records
+    results itself, in plan order) and inside ``run_scope(run_id)`` so
+    the result — whether produced here in the parent or in a pool
+    worker — is stamped with the ledger identity the parent allocated.
+    Prints a start line to stderr when ``REPRO_PROGRESS`` is set; in
+    the pool that line comes from the worker, marking *actual* start
+    rather than submission.
+    """
+    if os.environ.get(PROGRESS_ENV) == "1":
+        # Single write: worker processes share stderr, and two-part
+        # prints (text, then newline) interleave mid-line under load.
+        sys.stderr.write(f"[run {run_id or '-'}] start "
+                         f"{_spec_label(spec)} pid={os.getpid()}\n")
+        sys.stderr.flush()
+    start = time.perf_counter()
+    with trace_session.no_session(), run_scope(run_id):
+        result = spec.machine.run(spec.app, spec.nprocs,
+                                  seed=spec.seed, params=spec.params)
+    return result, time.perf_counter() - start
 
 
 def _localize(result: RunResult, spec: RunSpec) -> RunResult:
@@ -174,14 +232,17 @@ def _execute_traced(specs: Sequence[RunSpec],
 
 
 def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None
-                 ) -> List[RunResult]:
+                 cache: Optional[ResultCache] = None,
+                 ledger: Optional[Ledger] = None,
+                 quiet: Optional[bool] = None) -> List[RunResult]:
     """Execute every spec of ``plan``; results in plan order.
 
-    ``jobs``/``cache`` default to the ambient :func:`run_context`.
-    Inside a metrics-collecting session, exactly one result per
-    *unique* run is recorded, in plan order — identical whether the
-    run executed serially, in the pool, or came from the cache.
+    ``jobs``/``cache``/``ledger``/``quiet`` default to the ambient
+    :func:`run_context` (``ledger`` additionally falls back to the
+    ambient :func:`~repro.ledger.ledger_session`).  Inside a
+    metrics-collecting session, exactly one result per *unique* run is
+    recorded, in plan order — identical whether the run executed
+    serially, in the pool, or came from the cache.
     """
     specs = plan.specs
     if not specs:
@@ -192,23 +253,33 @@ def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
     if session is not None and session.trace:
         return _execute_traced(specs, keys)
 
+    context = current_context()
     jobs = resolve_jobs(jobs)
     if cache is None:
-        cache = current_context().cache
+        cache = context.cache
+    if ledger is None:
+        ledger = context.ledger or active_ledger()
+    if quiet is None:
+        quiet = context.quiet
+    plan_start = time.perf_counter()
 
     results: List[Optional[RunResult]] = [None] * len(specs)
     unique_order: List[str] = []          # first-appearance key order
+    first_index: Dict[str, int] = {}      # key -> first spec index
     pending: Dict[str, List[int]] = {}    # key -> spec indices to run
     produced: Dict[str, RunResult] = {}   # key -> canonical result
+    hit_keys: List[str] = []
 
     for i, key in enumerate(keys):
         if key not in pending:
             unique_order.append(key)
+            first_index[key] = i
             pending[key] = []
             if cache is not None:
                 hit = cache.get(key)
                 if hit is not None:
                     produced[key] = hit
+                    hit_keys.append(key)
         if key not in produced:
             pending[key].append(i)
 
@@ -216,26 +287,104 @@ def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
         (key, specs[indices[0]])
         for key, indices in pending.items() if indices]
 
-    if len(work) > 1 and jobs > 1:
-        workers = min(jobs, len(work))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [(key, pool.submit(_run_spec, spec))
-                       for key, spec in work]
-            for key, future in futures:
-                produced[key] = future.result()
-    else:
-        for key, spec in work:
-            produced[key] = _run_spec(spec)
+    # Ledger identities: a cache hit is an attempt like any other —
+    # it appends immediately, pointing at the producing run_id, and
+    # the served result is re-stamped with the hit's own identity.
+    # Misses get their run_id *before* execution so it rides into the
+    # worker (run_scope) and onto the RunResult.
+    assigned: Dict[str, Tuple[str, int]] = {}
+    if ledger is not None:
+        for key in hit_keys:
+            hit = produced[key]
+            hit_id, attempt = ledger.next_run_id(key)
+            spec = specs[first_index[key]]
+            ledger.append(run_record(
+                run_id=hit_id, key=key, attempt=attempt,
+                machine=spec.machine, app=spec.app, nprocs=spec.nprocs,
+                seed=spec.seed, params=spec.params, result=hit,
+                path="hit", executor="cache",
+                produced_by=hit.run_id))
+            produced[key] = dataclasses.replace(hit, run_id=hit_id)
+        for key, _spec in work:
+            assigned[key] = ledger.next_run_id(key)
+
+    total = len(work)
+    done = 0
+    walls: Dict[str, float] = {}
+
+    def run_id_of(key: str) -> Optional[str]:
+        return assigned[key][0] if key in assigned else None
+
+    def progress_done(key: str, spec: RunSpec) -> None:
+        nonlocal done
+        done += 1
+        if not quiet:
+            sys.stderr.write(f"[run {run_id_of(key) or '-'}] done "
+                             f"{_spec_label(spec)} "
+                             f"wall={walls[key]:.2f}s "
+                             f"({done}/{total})\n")
+            sys.stderr.flush()
+
+    pooled = len(work) > 1 and jobs > 1
+    previous_progress = os.environ.get(PROGRESS_ENV)
+    if not quiet:
+        os.environ[PROGRESS_ENV] = "1"
+    try:
+        if pooled:
+            workers = min(jobs, len(work))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_spec, spec, run_id_of(key)):
+                        (key, spec)
+                    for key, spec in work}
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        key, spec = futures[future]
+                        produced[key], walls[key] = future.result()
+                        progress_done(key, spec)
+        else:
+            for key, spec in work:
+                produced[key], walls[key] = _run_spec(spec,
+                                                      run_id_of(key))
+                progress_done(key, spec)
+    finally:
+        if not quiet:
+            if previous_progress is None:
+                os.environ.pop(PROGRESS_ENV, None)
+            else:
+                os.environ[PROGRESS_ENV] = previous_progress
 
     if cache is not None:
         for key, _spec in work:
             cache.put(key, produced[key])
+    if ledger is not None:
+        for key, spec in work:
+            miss_id, attempt = assigned[key]
+            ledger.append(run_record(
+                run_id=miss_id, key=key, attempt=attempt,
+                machine=spec.machine, app=spec.app, nprocs=spec.nprocs,
+                seed=spec.seed, params=spec.params,
+                result=produced[key],
+                path="miss" if cache is not None else "fresh",
+                executor="pool" if pooled else "serial",
+                wall_s=walls[key]))
+
+    if not quiet:
+        unique = len(unique_order)
+        hit_pct = 100.0 * len(hit_keys) / unique if unique else 0.0
+        print(f"[plan] specs={len(specs)} unique={unique} "
+              f"executed={total} cache_hits={len(hit_keys)} "
+              f"({hit_pct:.0f}%) jobs={jobs} "
+              f"wall={time.perf_counter() - plan_start:.2f}s",
+              file=sys.stderr, flush=True)
 
     for i, key in enumerate(keys):
         results[i] = _localize(produced[key], specs[i])
 
     if session is not None:
-        first_index = {key: keys.index(key) for key in unique_order}
         for key in unique_order:
             session.record(results[first_index[key]], None)
 

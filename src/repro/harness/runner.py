@@ -5,7 +5,10 @@ grid as a :class:`~repro.harness.parallel.RunPlan` and lets
 ``execute_plan`` fan the independent simulations out over worker
 processes, deduplicate identical points, and serve repeats from the
 result cache — all without changing a single number (see that
-module's determinism contract).
+module's determinism contract).  Under an active
+:func:`~repro.ledger.ledger_session`, every point additionally
+appends a provenance record and every returned
+:class:`~repro.stats.result.RunResult` carries its ledger ``run_id``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,31 @@
+"""repro.ledger: append-only per-run provenance (see ledger.py).
+
+Public surface::
+
+    from repro.ledger import Ledger, ledger_session, run_scope
+
+    ledger = Ledger(".repro-cache/ledger.jsonl")
+    with ledger_session(ledger):
+        machine.run(app, 8)          # appends one provenance record
+
+The parallel runner (``repro.harness.parallel``) and the CLI install
+the session themselves; ``repro-harness report`` replays the ledger +
+result cache into reproducibility reports.
+"""
+
+from repro.ledger.ledger import (Ledger, active_ledger, current_run_id,
+                                 ledger_session, make_run_id, run_record,
+                                 run_scope)
+from repro.ledger.provenance import git_revision, host_meta
+
+__all__ = [
+    "Ledger",
+    "active_ledger",
+    "current_run_id",
+    "ledger_session",
+    "make_run_id",
+    "run_record",
+    "run_scope",
+    "git_revision",
+    "host_meta",
+]

@@ -1,0 +1,67 @@
+"""Code-version and host provenance for ledger records.
+
+A ledger record is only auditable if it pins *which code* produced it
+and *where* it ran.  These helpers gather that once per process:
+
+* :func:`git_revision` — the repository HEAD SHA plus a dirty flag
+  (uncommitted changes mean the SHA alone does not identify the code).
+  Outside a git checkout — an installed package, a stripped CI
+  artifact — both fields are ``None`` rather than an error: a record
+  with unknown provenance is still worth appending.
+* :func:`host_meta` — hostname, platform string, Python version, and
+  CPU count, the fields that make wall-clock numbers comparable (or
+  provably incomparable) across machines.
+
+Both results are cached: provenance is per-process-invariant, and the
+ledger appends one record per simulated run.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import platform
+import socket
+import subprocess
+from typing import Any, Dict, Optional
+
+
+def _git(args, cwd: Optional[str]) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git"] + args, cwd=cwd, capture_output=True, text=True,
+            timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+@functools.lru_cache(maxsize=8)
+def git_revision(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """``{"sha": <hex or None>, "dirty": <bool or None>}`` for ``cwd``.
+
+    ``dirty`` is True when tracked files have uncommitted changes, so
+    a drifted artifact can never be silently blamed on clean HEAD.
+    """
+    sha = _git(["rev-parse", "HEAD"], cwd)
+    if sha is None:
+        return {"sha": None, "dirty": None}
+    status = _git(["status", "--porcelain", "--untracked-files=no"], cwd)
+    return {"sha": sha, "dirty": None if status is None else bool(status)}
+
+
+@functools.lru_cache(maxsize=1)
+def host_meta() -> Dict[str, Any]:
+    """Stable facts about the executing host (cached per process)."""
+    try:
+        hostname = socket.gethostname()
+    except OSError:
+        hostname = "unknown"
+    return {
+        "hostname": hostname,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }

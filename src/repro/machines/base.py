@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import time
 from enum import Enum
 from typing import Any, Dict, Optional
 
@@ -20,6 +21,8 @@ from repro.apps import ops
 from repro.check.checker import active_check_config
 from repro.dsm.bound import BoundMode, SharedBound
 from repro.errors import ConfigurationError, SimulationError
+from repro.ledger import (active_ledger, current_run_id, run_record,
+                          run_scope)
 from repro.mem.layout import AddressSpace, Geometry
 from repro.mem.store import SharedStore
 from repro.sim.engine import Engine
@@ -234,6 +237,24 @@ class Machine:
             tracer = session.new_tracer(
                 f"{self.name}/{app.name}/p{nprocs}")
 
+        # Provenance: an enclosing executor (the parallel runner, a
+        # pool worker) has already allocated this run's ledger
+        # identity and owns the record; a bare Machine.run inside a
+        # ledger session allocates its own and appends a "direct"
+        # record below.
+        run_id = current_run_id()
+        ledger = None
+        ledger_key = None
+        ledger_attempt = 0
+        if run_id is None:
+            ledger = active_ledger()
+            if ledger is not None:
+                from repro.harness.cache import run_key  # lazy: cycle
+                ledger_key = run_key(self, app, nprocs, seed=seed,
+                                     params=params)
+                run_id, ledger_attempt = ledger.next_run_id(ledger_key)
+        wall_start = time.perf_counter()
+
         engine = Engine(tracer=tracer)
         engine.watchdog_cycles = self.watchdog_cycles
         space = AddressSpace(self.geometry())
@@ -257,8 +278,11 @@ class Machine:
                  for p, gen in enumerate(programs)]
         for task in tasks:
             task.start()
-        engine.run()
-        runtime.finish_run()
+        with run_scope(run_id):
+            # Anything raised in here — notably ConsistencyViolation
+            # from an armed checker — captures the ambient run_id.
+            engine.run()
+            runtime.finish_run()
 
         cycles = max((t.finish_time or 0) for t in tasks)
         output = app.verify(ctx)
@@ -267,7 +291,8 @@ class Machine:
         if tracer is not None and tracer.enabled:
             breakdown = tracer.finish(
                 cycles, nprocs, self.clock_hz,
-                machine=self.name, app=app.name)
+                machine=self.name, app=app.name,
+                **({"run_id": run_id} if run_id is not None else {}))
         result = RunResult(
             machine=self.name,
             app=app.name,
@@ -279,7 +304,15 @@ class Machine:
             params={"seed": seed, **(params or {})},
             events=engine.events_processed,
             breakdown=breakdown,
+            run_id=run_id,
         )
+        if ledger is not None:
+            ledger.append(run_record(
+                run_id=run_id, key=ledger_key, attempt=ledger_attempt,
+                machine=self, app=app, nprocs=nprocs, seed=seed,
+                params=params, result=result, path="fresh",
+                executor="direct",
+                wall_s=time.perf_counter() - wall_start))
         if session is not None:
             session.record(result, tracer)
         return result

@@ -51,6 +51,12 @@ class RunResult:
     events: int = 0
     #: per-processor/per-category cycle totals; None unless traced
     breakdown: Optional[TimeBreakdown] = None
+    #: provenance-ledger run identity (``<fingerprint>.<attempt>``);
+    #: None outside a ledger session.  Correlates this result with its
+    #: ledger record, metrics-JSONL line, and Chrome trace — but is
+    #: *identity*, not measurement, so it stays out of ``summary()``
+    #: (re-running a cached plan must not "change" any number).
+    run_id: Optional[str] = None
 
     @property
     def seconds(self) -> float:
@@ -108,6 +114,8 @@ class RunResult:
         }
         if self.breakdown is not None:
             out["breakdown"] = self.breakdown.as_dict()
+        if self.run_id is not None:
+            out["run_id"] = self.run_id
         return out
 
     @classmethod
@@ -127,6 +135,7 @@ class RunResult:
             params=dict(data.get("params", {})),
             events=int(data.get("events", 0)),
             breakdown=breakdown,
+            run_id=data.get("run_id"),
         )
 
 

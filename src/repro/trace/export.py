@@ -10,7 +10,10 @@ run becomes one "process" whose threads are the tracer's tracks
 The metrics JSONL format is one JSON object per run — machine, app,
 processor count, cycles, the full counter dictionary, and (when
 tracing was on) the time breakdown — so benchmark results are
-machine-readable for trend tracking.
+machine-readable for trend tracking.  Runs executed inside a
+provenance-ledger session additionally carry their ``run_id``, which
+is the join key back to the ledger record (and, for traced runs, into
+the Chrome trace's ``otherData.runs`` metadata).
 """
 
 from __future__ import annotations
@@ -137,6 +140,9 @@ def metrics_record(result: Any) -> Dict[str, Any]:
         "params": dict(result.params),
         "counters": result.counters.as_dict(),
     }
+    run_id = getattr(result, "run_id", None)
+    if run_id is not None:
+        record["run_id"] = run_id
     if result.breakdown is not None:
         record["breakdown"] = result.breakdown.as_dict()
     return record

@@ -60,6 +60,17 @@ class TraceSession:
         return [run.tracer for run in self.runs
                 if run.tracer is not None]
 
+    @property
+    def run_ids(self) -> List[Optional[str]]:
+        """Ledger run_id per collected run (None outside a session).
+
+        Parallel to :attr:`results`: ``zip(session.run_ids,
+        session.results)`` correlates every collected run with its
+        provenance-ledger record.
+        """
+        return [getattr(run.result, "run_id", None)
+                for run in self.runs]
+
 
 def active_session() -> Optional[TraceSession]:
     """The session currently collecting runs, if any."""

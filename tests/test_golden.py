@@ -19,34 +19,16 @@ import os
 
 import pytest
 
-from repro.harness.runner import compare_machines
-from repro.harness.workloads import Scale, make_app
-from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
-                            DecTreadMarksMachine, HybridMachine,
-                            SgiMachine)
+from repro.harness.report import speedup_pin_data
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
                            "speedups.json")
-WORKLOADS = ("sor_small", "tsp18", "water")
-PROCS = (2, 8)
 
 
 def compute_current():
-    machines = [DecTreadMarksMachine(), SgiMachine(),
-                AllSoftwareMachine(), AllHardwareMachine(),
-                HybridMachine()]
-    data = {}
-    for workload in WORKLOADS:
-        app = make_app(workload, Scale.TEST)
-        for name, series in compare_machines(machines, app,
-                                             PROCS).items():
-            data[f"{workload}/{name}"] = {
-                "cycles": {str(r.nprocs): r.cycles
-                           for r in series.points},
-                "speedups": {str(n): round(s, 9)
-                             for n, s in series.speedups().items()},
-            }
-    return data
+    # Single source of truth with `repro-harness report`, which
+    # regenerates the same pins through the ledger + cache.
+    return speedup_pin_data()
 
 
 def test_speedup_series_match_golden_file():
