@@ -1,0 +1,157 @@
+"""Before/after wall-clock for the batched-op engine core and the pool.
+
+Two measurements against the pinned pre-batching baseline
+(``benchmarks/results/engine_baseline.json``, measured at the commit
+named inside it):
+
+* ``tsp18`` — the serial hot path: TreadMarks running the bench-scale
+  TSP instance on 4 processors.  Batched (OpBlock) issue plus the
+  memoized bound computations must beat the per-op baseline by at
+  least ``MIN_TSP_SPEEDUP``.
+* ``fig3_grid`` — the 8-run Figure-3-style grid (TreadMarks + SGI,
+  SOR, 1-8 processors), serial vs the persistent process pool.  The
+  pool must not lose to serial: ``effective_workers`` clamps to the
+  cores actually present, so on a single-core box the pool degenerates
+  to the in-process path and the ratio sits at ~1.0 by construction;
+  on a real multi-core box it wins outright.  CI pins a floor via
+  ``--min-pool-speedup``.
+
+Both configurations must produce identical summaries (the runner's
+determinism contract) — asserted before any number is reported.
+
+Writes ``BENCH_engine.json`` at the repo root and exits non-zero if a
+bar is missed.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--min-pool-speedup F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from _common import write_bench_json
+from repro.harness.parallel import (RunPlan, effective_workers,
+                                    execute_plan, shutdown_pool)
+from repro.harness.workloads import Scale, make_app
+from repro.machines import make_machine
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "results",
+                             "engine_baseline.json")
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_engine.json")
+
+POOL_JOBS = 4
+PROCS = (1, 2, 4, 8)
+ROUNDS = 3
+MIN_TSP_SPEEDUP = 1.5
+
+
+def best_of(fn, rounds: int = ROUNDS):
+    """Smallest wall-clock over ``rounds`` runs, plus the last result."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def tsp18_hot_path():
+    machine = make_machine("treadmarks")
+    app = make_app("tsp18", Scale.BENCH)
+    return machine.run(app, 4)
+
+
+def fig3_plan() -> RunPlan:
+    plan = RunPlan()
+    for name in ("treadmarks", "sgi"):
+        for p in PROCS:
+            plan.add(make_machine(name), make_app("sor_small", Scale.BENCH), p)
+    return plan
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--min-pool-speedup", type=float, default=0.85,
+                        help="fail below this pool-vs-serial ratio "
+                             "(CI floor; ~1.0 on any box thanks to the "
+                             "cores clamp, >1 on multi-core)")
+    args = parser.parse_args()
+
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+
+    tsp_after, _ = best_of(tsp18_hot_path)
+    tsp_before = baseline["tsp18_bench_treadmarks_p4_s"]
+    tsp_speedup = tsp_before / tsp_after
+
+    # Interleave the two configurations round by round so slow drift
+    # (page cache, frequency scaling) hits both legs evenly.
+    serial_s = pool_s = float("inf")
+    serial_results = pool_results = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        serial_results = execute_plan(fig3_plan(), jobs=1, cache=None)
+        serial_s = min(serial_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        pool_results = execute_plan(fig3_plan(), jobs=POOL_JOBS,
+                                    cache=None)
+        pool_s = min(pool_s, time.perf_counter() - start)
+    shutdown_pool()
+
+    serial_sums = [r.summary() for r in serial_results]
+    pool_sums = [r.summary() for r in pool_results]
+    if serial_sums != pool_sums:
+        raise AssertionError("pool and serial summaries disagree")
+
+    pool_vs_serial = serial_s / pool_s
+    workers = effective_workers(POOL_JOBS, len(fig3_plan()))
+
+    report = {
+        "baseline": baseline,
+        "cpu_count": os.cpu_count(),
+        "rounds": ROUNDS,
+        "tsp18": {
+            "what": "treadmarks x tsp18 (bench scale) x 4 procs, serial",
+            "before_s": round(tsp_before, 4),
+            "after_s": round(tsp_after, 4),
+            "speedup": round(tsp_speedup, 2),
+            "bar": MIN_TSP_SPEEDUP,
+        },
+        "fig3_grid": {
+            "what": "fig3-style: (treadmarks, sgi) x sor_small x "
+                    f"procs {list(PROCS)}, scale bench",
+            "runs": len(fig3_plan()),
+            "pool_jobs": POOL_JOBS,
+            "workers_effective": workers,
+            "serial_s": round(serial_s, 4),
+            "pool_s": round(pool_s, 4),
+            "pool_vs_serial": round(pool_vs_serial, 2),
+            "bar": args.min_pool_speedup,
+            "serial_vs_baseline": round(
+                baseline["fig3_grid_serial_s"] / serial_s, 2),
+        },
+        "determinism": "pool and serial produced identical summaries",
+    }
+
+    print(f"tsp18 hot path: {tsp_before:.3f}s -> {tsp_after:.3f}s  "
+          f"(x{tsp_speedup:.2f}, bar x{MIN_TSP_SPEEDUP})")
+    print(f"fig3 grid: serial {serial_s:.3f}s, pool {pool_s:.3f}s "
+          f"({workers} effective workers, x{pool_vs_serial:.2f} vs "
+          f"serial, bar x{args.min_pool_speedup})")
+
+    write_bench_json(OUT_PATH, report)
+
+    ok = (tsp_speedup >= MIN_TSP_SPEEDUP
+          and pool_vs_serial >= args.min_pool_speedup)
+    if not ok:
+        print("ENGINE BENCH BAR MISSED")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,8 +17,7 @@ breaks HS's traffic down against AS's, the paper's Figures 12-13.
 Run:  python examples/design_space.py   (takes a minute or two)
 """
 
-from repro import (AllHardwareMachine, AllSoftwareMachine, HybridMachine,
-                   SorApp, WaterApp)
+from repro import SorApp, WaterApp, make_machine
 
 PROCS = 32
 
@@ -35,8 +34,8 @@ def main() -> None:
         ("M-Water", lambda: WaterApp(molecules=128, steps=2,
                                      modified=True)),
     ]
-    machines = [("AH", AllHardwareMachine()), ("HS", HybridMachine()),
-                ("AS", AllSoftwareMachine())]
+    machines = [("AH", make_machine("ah")), ("HS", make_machine("hs")),
+                ("AS", make_machine("as"))]
 
     tops = {}
     for wl_name, factory in workloads:

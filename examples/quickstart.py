@@ -8,26 +8,34 @@ Runs Red-Black SOR on the two experimental platforms of Cox et al.
 Run:  python examples/quickstart.py
 """
 
-from repro import DecTreadMarksMachine, SgiMachine, SorApp
+from repro import RunPlan, SorApp, execute_plan, make_machine
 
 
 def main() -> None:
     app = SorApp(rows=500, cols=500, iterations=4)
     procs = (1, 2, 4, 8)
 
+    # One declared grid; execute_plan dedups, caches, and (given
+    # jobs=N) fans runs out to a process pool — results are
+    # byte-identical either way.
+    plan = RunPlan()
+    index = {(name, p): plan.add(make_machine(name), app, p)
+             for name in ("treadmarks", "sgi") for p in procs}
+    results = execute_plan(plan)
+
     print(f"Red-Black SOR, {app.name}, speedups vs 1 processor\n")
     print(f"{'machine':<12}" + "".join(f"p={p:<7}" for p in procs))
-    for machine in (DecTreadMarksMachine(), SgiMachine()):
-        base = machine.run(app, 1)
-        row = [f"{machine.name:<12}"]
+    for name in ("treadmarks", "sgi"):
+        base = results[index[name, 1]]
+        row = [f"{name:<12}"]
         for p in procs:
-            result = base if p == 1 else machine.run(app, p)
+            result = results[index[name, p]]
             row.append(f"{base.seconds / result.seconds:<9.2f}")
         print("".join(row))
 
     print("\nTreadMarks is software-only: page faults, diffs and")
     print("messages replace the SGI's snooping-bus transactions.")
-    tm8 = DecTreadMarksMachine().run(app, 8)
+    tm8 = results[index["treadmarks", 8]]
     print(f"  8-processor TreadMarks run: "
           f"{tm8.counters.total_messages} messages, "
           f"{tm8.counters.total_bytes / 1024:.0f} KB moved, "

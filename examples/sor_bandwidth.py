@@ -16,7 +16,7 @@ Reproduces the paper's §2.4.2 SOR analysis at reduced scale:
 Run:  python examples/sor_bandwidth.py
 """
 
-from repro import DecTreadMarksMachine, SgiMachine, SorApp
+from repro import SorApp, make_machine
 
 
 def speedup8(machine, app):
@@ -27,7 +27,7 @@ def speedup8(machine, app):
 
 def main() -> None:
     print("=== Large SOR (bus-saturating working set) ===")
-    for machine in (DecTreadMarksMachine(), SgiMachine()):
+    for machine in (make_machine("treadmarks"), make_machine("sgi")):
         # 16 MB grid: per-processor bands exceed the SGI's 1 MB L2
         # even at 8 processors, so every iteration streams over the
         # shared bus.
@@ -46,7 +46,7 @@ def main() -> None:
     for init, label in (("zero", "zero interior (paper default)"),
                         ("random", "all points change (control)")):
         app = SorApp(rows=500, cols=500, iterations=4, init=init)
-        top = DecTreadMarksMachine().run(app, 8)
+        top = make_machine("treadmarks").run(app, 8)
         print(f"  {label:<36} TreadMarks miss data = "
               f"{top.counters.miss_data_bytes / 1024:8,.0f} KB")
 

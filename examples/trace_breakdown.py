@@ -9,15 +9,15 @@ chrome://tracing or https://ui.perfetto.dev.
 Run:  python examples/trace_breakdown.py
 """
 
-from repro import DecTreadMarksMachine, SgiMachine, SorApp
-from repro.trace import Tracer, trace_session, write_chrome_trace
+from repro import SorApp, Tracer, make_machine, trace_session
+from repro.trace import write_chrome_trace
 
 
 def single_run() -> None:
     """Explicit tracer: full control over one run."""
     app = SorApp(rows=500, cols=500, iterations=4)
     tracer = Tracer(label="treadmarks/sor/p8")
-    result = DecTreadMarksMachine().run(app, 8, tracer=tracer)
+    result = make_machine("treadmarks").run(app, 8, tracer=tracer)
 
     b = result.breakdown
     print(f"{result.machine} / {result.app} on {result.nprocs} "
@@ -37,7 +37,7 @@ def sweep() -> None:
     """Session scope: every run inside is traced automatically."""
     app = SorApp(rows=500, cols=500, iterations=4)
     with trace_session() as session:
-        for machine in (DecTreadMarksMachine(), SgiMachine()):
+        for machine in (make_machine("treadmarks"), make_machine("sgi")):
             for nprocs in (1, 8):
                 machine.run(app, nprocs)
 

@@ -15,17 +15,18 @@ measure).  All three find the identical optimal tour.
 Run:  python examples/tsp_bound_staleness.py
 """
 
-from repro import DecTreadMarksMachine, SgiMachine, TspApp
+from repro import TspApp, make_machine
 
 BOUND_LOCK = 1
 
 
 def main() -> None:
     machines = [
-        ("lazy release (TreadMarks)", DecTreadMarksMachine()),
+        ("lazy release (TreadMarks)", make_machine("treadmarks")),
         ("eager release on the bound",
-         DecTreadMarksMachine(eager_locks=frozenset({BOUND_LOCK}))),
-        ("hardware (SGI 4D/480)", SgiMachine()),
+         make_machine("treadmarks",
+                      eager_locks=frozenset({BOUND_LOCK}))),
+        ("hardware (SGI 4D/480)", make_machine("sgi")),
     ]
     print(f"{'configuration':<30} {'speedup@8':>9} {'expansions':>11} "
           f"{'optimum':>9}")

@@ -16,7 +16,7 @@ more than any barrier-based application.
 Run:  python examples/water_locking.py
 """
 
-from repro import DecTreadMarksMachine, SgiMachine, WaterApp
+from repro import WaterApp, make_machine
 
 MOLECULES = 96
 STEPS = 2
@@ -36,16 +36,18 @@ def report(label, machine, modified):
 def main() -> None:
     print(f"Water, {MOLECULES} molecules, {STEPS} steps\n")
     print("SGI 4D/480 (hardware locks are cache-resident):")
-    report("Water  (lock per update)", SgiMachine(), modified=False)
-    report("M-Water (lock per molecule)", SgiMachine(), modified=True)
+    report("Water  (lock per update)", make_machine("sgi"),
+           modified=False)
+    report("M-Water (lock per molecule)", make_machine("sgi"),
+           modified=True)
 
     print("\nTreadMarks, user level (remote lock ~ a millisecond):")
-    report("Water  (lock per update)", DecTreadMarksMachine(), False)
-    report("M-Water (lock per molecule)", DecTreadMarksMachine(), True)
+    report("Water  (lock per update)", make_machine("treadmarks"), False)
+    report("M-Water (lock per molecule)", make_machine("treadmarks"), True)
 
     print("\nTreadMarks, kernel level (§2.4.4: halved message costs):")
     report("M-Water (lock per molecule)",
-           DecTreadMarksMachine(kernel_level=True), True)
+           make_machine("treadmarks", kernel_level=True), True)
 
 
 if __name__ == "__main__":

@@ -8,36 +8,70 @@ An execution-driven reproduction of the paper's two studies:
 
 Quickstart::
 
-    from repro import SorApp, DecTreadMarksMachine, SgiMachine
+    from repro import SorApp, make_machine
 
     app = SorApp(rows=1000, cols=1000, iterations=6)
-    for machine in (DecTreadMarksMachine(), SgiMachine()):
+    for name in ("treadmarks", "sgi"):
+        machine = make_machine(name)
         base = machine.run(app, 1)
         result = machine.run(app, 8)
         print(machine.name, base.seconds / result.seconds)
+
+Grids run through :class:`RunPlan`/:func:`execute_plan` (parallel,
+cached, deterministic), and the op vocabulary — including the batched
+:class:`OpBlock` form with :func:`fuse`/:func:`unfuse` — is re-exported
+here.  Everything in ``__all__`` is the stable public surface; the
+examples and the CLI are written against it.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.apps import (Application, AppContext, IlinkApp, SorApp, TspApp,
-                        WaterApp)
+from repro.apps import (Acquire, AppContext, Application, Barrier, Compute,
+                        IlinkApp, OpBlock, Read, ReadBound, Release, SorApp,
+                        TspApp, UpdateBound, WaterApp, Write, fuse, unfuse)
+from repro.check import checking
+from repro.errors import ConfigurationError, ConsistencyViolation
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import (RunPlan, RunSpec, execute_plan,
+                                    run_context, run_grid, shutdown_pool)
+from repro.harness.runner import compare_machines, speedup_series
+from repro.harness.workloads import Scale, make_app
 from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
                             DecTreadMarksMachine, HybridMachine, Machine,
-                            SgiMachine)
+                            machine_names, make_machine, SgiMachine)
+from repro.net.faults import FaultPlan
 from repro.net.overhead import OverheadPreset, SoftwareOverhead
 from repro.stats import Counters, RunResult, SpeedupSeries
+from repro.trace import Tracer, trace_session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # applications and the op vocabulary
     "Application",
     "AppContext",
     "SorApp",
     "TspApp",
     "WaterApp",
     "IlinkApp",
+    "make_app",
+    "Scale",
+    "Compute",
+    "Read",
+    "Write",
+    "Acquire",
+    "Release",
+    "Barrier",
+    "ReadBound",
+    "UpdateBound",
+    "OpBlock",
+    "fuse",
+    "unfuse",
+    # machines
     "Machine",
+    "make_machine",
+    "machine_names",
     "DecTreadMarksMachine",
     "SgiMachine",
     "AllSoftwareMachine",
@@ -45,6 +79,24 @@ __all__ = [
     "HybridMachine",
     "OverheadPreset",
     "SoftwareOverhead",
+    "FaultPlan",
+    # run entry points
+    "RunPlan",
+    "RunSpec",
+    "execute_plan",
+    "run_context",
+    "run_grid",
+    "shutdown_pool",
+    "compare_machines",
+    "speedup_series",
+    "ResultCache",
+    # observation and checking
+    "Tracer",
+    "trace_session",
+    "checking",
+    "ConsistencyViolation",
+    "ConfigurationError",
+    # results
     "Counters",
     "RunResult",
     "SpeedupSeries",

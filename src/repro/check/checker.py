@@ -95,7 +95,15 @@ def checking(history: bool = False,
 
 
 class BaseChecker:
-    """Shared event-trail plumbing for the three checkers."""
+    """Shared event-trail plumbing for the three checkers.
+
+    Trail entries are buffered as raw ``(kind, time, node, page,
+    details)`` tuples; they are materialised into
+    :class:`~repro.check.events.ProtocolEvent` records only when a
+    violation is actually raised.  A hook on the hot path therefore
+    pays a tuple pack and a deque append, not a dataclass build plus
+    detail sorting per observed action.
+    """
 
     def __init__(self, config: CheckConfig) -> None:
         self.config = config
@@ -106,14 +114,22 @@ class BaseChecker:
         return 0.0
 
     def _emit(self, kind: str, node: int, page: Optional[int] = None,
-              **details: Any) -> ProtocolEvent:
-        event = make_event(kind, self._now, node, page, **details)
-        self.trail.append(event)
-        return event
+              **details: Any) -> Tuple[Any, ...]:
+        record = (kind, self._now, node, page, details)
+        self.trail.append(record)
+        return record
 
-    def _fail(self, reason: str, event: ProtocolEvent) -> None:
-        raise ConsistencyViolation(reason, event=event, now=self._now,
-                                   trail=tuple(self.trail))
+    @staticmethod
+    def _materialize(record: Any) -> ProtocolEvent:
+        if isinstance(record, ProtocolEvent):
+            return record
+        kind, time, node, page, details = record
+        return make_event(kind, time, node, page, **details)
+
+    def _fail(self, reason: str, event: Any) -> None:
+        raise ConsistencyViolation(
+            reason, event=self._materialize(event), now=self._now,
+            trail=tuple(self._materialize(r) for r in self.trail))
 
 
 class DsmChecker(BaseChecker):
@@ -199,6 +215,41 @@ class DsmChecker(BaseChecker):
         if self.dsm.pages[dst].valid[page]:
             self._fail("write notice applied but the page copy stayed "
                        "valid (missed invalidation)", event)
+
+    def on_notices_applied(self, dst: int,
+                           intervals: List[Any]) -> None:
+        """Batched form of :meth:`on_notice_applied`.
+
+        ``_apply_notices`` applies every write notice of a batch of
+        intervals and then reports the whole batch here at once.  The
+        protocol iterates each interval's own write set, so the
+        page-membership test of the unbatched hook is vacuous on this
+        path; the remaining invariants — no self notices, every
+        applied page ends invalid — are checked with the loop
+        constants hoisted.  The trail gets one summarizing record per
+        interval instead of one per page.
+        """
+        valid = self.dsm.pages[dst].valid
+        now = self.dsm.engine.now
+        trail = self.trail
+        for interval in intervals:
+            creator = interval.node
+            index = interval.index
+            pages = interval.pages
+            record = ("notices_applied", now, dst, None,
+                      {"creator": creator, "index": index,
+                       "pages": len(pages)})
+            trail.append(record)
+            if creator == dst:
+                self._fail("node applied a write notice from its own "
+                           "interval", record)
+            for page in pages:
+                if valid[page]:
+                    self._fail(
+                        "write notice applied but the page copy "
+                        "stayed valid (missed invalidation)",
+                        ("notice_applied", now, dst, page,
+                         {"creator": creator, "index": index}))
 
     def on_lock_granted(self, dst: int, src: int,
                         snapshot: Any) -> None:
@@ -302,31 +353,61 @@ class DsmChecker(BaseChecker):
                 self.history, self._history_fail)
 
     def _history_fail(self, reason: str, event: Any = None) -> None:
-        raise ConsistencyViolation(reason, event=event, now=self._now,
-                                   trail=tuple(self.trail))
+        raise ConsistencyViolation(
+            reason, event=event, now=self._now,
+            trail=tuple(self._materialize(r) for r in self.trail))
 
 
 class SnoopChecker(BaseChecker):
     """SWMR for :class:`repro.hw.snoop.SnoopingSystem`.
 
-    After every bus operation, sweep all member caches: a line held
+    Bus operations pass the checker the set of lines they touched
+    (miss/ownership sets); assuming the invariant held before the
+    operation, only those lines can newly violate SWMR — a line held
     EXCLUSIVE or MODIFIED anywhere must be resident in exactly one
-    cache.  The sweep is vectorized over resident lines only (sort +
-    neighbour compare), so its cost tracks working-set size, not
-    cache capacity.
+    cache — so the inline check probes just them across every cache.
+    A full sweep of all resident lines (vectorized: sort + neighbour
+    compare) still runs every :data:`SWEEP_INTERVAL` checked
+    operations and at the end of the run, as a backstop for
+    bookkeeping the touched sets don't cover (e.g. evictions).
     """
+
+    #: Checked operations between full cross-cache sweeps.
+    SWEEP_INTERVAL = 64
 
     def __init__(self, system: Any, config: CheckConfig) -> None:
         super().__init__(config)
         self.system = system
         self._last_now = 0.0
+        self._ops_checked = 0
 
     @property
     def _now(self) -> float:
         return self._last_now
 
-    def after_op(self, op: str, proc: int, now: float) -> None:
+    def after_op(self, op: str, proc: int, now: float,
+                 lines: Optional[np.ndarray] = None) -> None:
         self._last_now = now
+        self._ops_checked += 1
+        if lines is not None and self._ops_checked % self.SWEEP_INTERVAL:
+            if lines.size == 0 or self._lines_clean(lines):
+                return
+            # Fall through: the sweep rediscovers the violation and
+            # raises with exact holder diagnostics.
+        self._sweep(op, proc)
+
+    def _lines_clean(self, lines: np.ndarray) -> bool:
+        present = np.zeros(lines.shape, dtype=np.int64)
+        owned = np.zeros(lines.shape, dtype=np.int64)
+        for cache in self.system.caches:
+            sets = lines % cache.num_sets
+            states = cache.states[sets]
+            hit = (cache.tags[sets] == lines) & (states != INVALID)
+            present += hit
+            owned += hit & (states >= EXCLUSIVE)
+        return not ((owned > 0) & (present > 1)).any()
+
+    def _sweep(self, op: str, proc: int) -> None:
         caches = self.system.caches
         lines_parts, owned_parts, who_parts = [], [], []
         for q, cache in enumerate(caches):
@@ -362,29 +443,73 @@ class SnoopChecker(BaseChecker):
                 "copy", event)
 
     def finish(self) -> None:
-        self.after_op("final_sweep", -1, self._last_now)
+        self._sweep("final_sweep", -1)
 
 
 class DirectoryChecker(BaseChecker):
     """Directory/cache agreement + SWMR for ``DirectorySystem``.
 
-    After every access: owned lines register exactly their owner as
-    sharer; a line owned by cache *p* is resident nowhere else; every
-    resident copy is registered in the sharer bitmap; and EXCLUSIVE/
-    MODIFIED copies coincide with directory ownership.
+    Invariants: owned lines register exactly their owner as sharer; a
+    line owned by cache *p* is resident nowhere else; every resident
+    copy is registered in the sharer bitmap; and EXCLUSIVE/MODIFIED
+    copies coincide with directory ownership.  Like the snoop
+    checker, accesses hand over the lines they touched and only those
+    are probed inline; a full sweep of every cache and the whole
+    directory runs every :data:`SWEEP_INTERVAL` checked operations
+    and at the end of the run.
     """
+
+    #: Checked operations between full directory/cache sweeps.
+    SWEEP_INTERVAL = 64
 
     def __init__(self, system: Any, config: CheckConfig) -> None:
         super().__init__(config)
         self.system = system
         self._last_now = 0.0
+        self._ops_checked = 0
 
     @property
     def _now(self) -> float:
         return self._last_now
 
-    def after_op(self, op: str, proc: int, now: float) -> None:
+    def after_op(self, op: str, proc: int, now: float,
+                 lines: Optional[np.ndarray] = None) -> None:
         self._last_now = now
+        self._ops_checked += 1
+        if lines is not None and self._ops_checked % self.SWEEP_INTERVAL:
+            if lines.size == 0 or self._lines_clean(lines):
+                return
+            # Fall through: the sweep rediscovers the violation and
+            # raises with exact per-line diagnostics.
+        self._sweep(op, proc)
+
+    def _lines_clean(self, lines: np.ndarray) -> bool:
+        system = self.system
+        owner, sharers = system.owner, system.sharers
+        own = owner[lines]
+        owned = own >= 0
+        if owned.any():
+            bits = np.uint64(1) << own[owned].astype(np.uint64)
+            if (sharers[lines[owned]] != bits).any():
+                return False
+        one = np.uint64(1)
+        registered = sharers[lines]
+        for q, cache in enumerate(system.caches):
+            sets = lines % cache.num_sets
+            states = cache.states[sets]
+            resident = (cache.tags[sets] == lines) & (states != INVALID)
+            if not resident.any():
+                continue
+            if (resident & owned & (own != q)).any():
+                return False
+            if (resident &
+                    (((registered >> np.uint64(q)) & one) == 0)).any():
+                return False
+            if (resident & (states >= EXCLUSIVE) & (own != q)).any():
+                return False
+        return True
+
+    def _sweep(self, op: str, proc: int) -> None:
         system = self.system
         owner, sharers = system.owner, system.sharers
         owned = owner >= 0
@@ -437,4 +562,4 @@ class DirectoryChecker(BaseChecker):
                     "without directory ownership", event)
 
     def finish(self) -> None:
-        self.after_op("final_sweep", -1, self._last_now)
+        self._sweep("final_sweep", -1)

@@ -130,12 +130,62 @@ def program_digest(program: Dict[str, Any]) -> str:
 # ----------------------------------------------------------------------
 # the program as an Application
 # ----------------------------------------------------------------------
-class FuzzApp(Application):
-    """Executes one generated program on the simulator."""
+def random_fuse(stream: Any, rng: np.random.Generator, *,
+                cut: float = 0.35):
+    """Re-chunk ``stream`` with seeded random fusion boundaries.
 
-    def __init__(self, program: Dict[str, Any]) -> None:
+    Consecutive fusible operations (``Compute``/``Read``/``Write``)
+    are grouped into :class:`~repro.apps.ops.OpBlock` chunks whose
+    boundaries fall at seeded random points, so the fuzzer exercises
+    block shapes no application would naturally emit — singletons,
+    long runs, cuts straight through read-modify-write sequences.
+    Synchronization and result-bearing operations pass through
+    unchanged with their sent-back values forwarded.  For a DRF
+    program chunking is semantics-free (see ``OpBlock``), so any
+    digest divergence against per-op issue is an engine bug.
+    """
+    gen = iter(stream)
+    run: List[Any] = []
+    value: Any = None
+
+    def flush():
+        block = run[0] if len(run) == 1 else ops.OpBlock(run)
+        run.clear()
+        return block
+
+    while True:
+        try:
+            op = ops._advance(gen, value)
+        except StopIteration:
+            break
+        value = None
+        if isinstance(op, ops.FUSIBLE):
+            run.append(op)
+            if rng.random() < cut:
+                yield flush()
+            continue
+        if run:
+            yield flush()
+        value = yield op
+    if run:
+        yield flush()
+
+
+class FuzzApp(Application):
+    """Executes one generated program on the simulator.
+
+    With ``chunk_seed`` set, every processor's operation stream is
+    re-chunked through :func:`random_fuse`, turning the cross-machine
+    differential into a fused-vs-per-op differential as well.
+    """
+
+    def __init__(self, program: Dict[str, Any],
+                 chunk_seed: Optional[int] = None) -> None:
         self.program = program
+        self.chunk_seed = chunk_seed
         self.name = f"fuzz-{program_digest(program)[:12]}"
+        if chunk_seed is not None:
+            self.name += f"-c{chunk_seed}"
 
     def regions(self, nprocs: int) -> Dict[str, int]:
         return {"fz": self.program["slots"] * SLOT_BYTES,
@@ -146,8 +196,13 @@ class FuzzApp(Application):
         ctx.store.view("lk", np.uint8)[:] = 0
 
     def programs(self, ctx: AppContext):
-        return [self._proc_program(ctx, proc)
-                for proc in range(ctx.nprocs)]
+        progs = [self._proc_program(ctx, proc)
+                 for proc in range(ctx.nprocs)]
+        if self.chunk_seed is None:
+            return progs
+        return [random_fuse(p, np.random.default_rng(
+                    (self.chunk_seed, proc)))
+                for proc, p in enumerate(progs)]
 
     def _proc_program(self, ctx: AppContext, proc: int):
         data = ctx.store.view("fz", np.uint8)
@@ -238,12 +293,19 @@ class FuzzOutcome:
 def run_program(program: Dict[str, Any],
                 machines: Optional[Sequence[Any]] = None, *,
                 jobs: Optional[int] = None,
-                history: bool = True) -> FuzzOutcome:
+                history: bool = True,
+                chunk_seed: Optional[int] = None) -> FuzzOutcome:
     """Run one program on every machine; diff images and verdicts.
 
-    The fast path executes all machines through one
+    With ``chunk_seed`` set, one extra leg runs the program on the
+    first machine with seeded-random :class:`~repro.apps.ops.OpBlock`
+    boundaries (:func:`random_fuse`); its digest and lock totals join
+    the differential, so fused issue is fuzzed against per-op issue
+    on every campaign program.
+
+    The fast path executes all legs through one
     :class:`~repro.harness.parallel.RunPlan`; if anything raises, each
-    machine is re-run serially so the failure is attributed to the
+    leg is re-run serially so the failure is attributed to the
     machine(s) that actually diverge.
     """
     from repro.harness.parallel import RunPlan, execute_plan
@@ -252,32 +314,36 @@ def run_program(program: Dict[str, Any],
         else default_machines()
     app = FuzzApp(program)
     nprocs = program["nprocs"]
+    legs = [(machine, machine.name, app) for machine in machines]
+    if chunk_seed is not None:
+        legs.append((machines[0], f"{machines[0].name}+chunked",
+                     FuzzApp(program, chunk_seed=chunk_seed)))
     outcome = FuzzOutcome(program=program)
 
     with checking(history=history):
         plan = RunPlan()
-        for machine in machines:
-            plan.add(machine, app, nprocs)
+        for machine, _label, leg_app in legs:
+            plan.add(machine, leg_app, nprocs)
         try:
             results = execute_plan(plan, jobs=jobs, cache=None)
-            for machine, result in zip(machines, results):
+            for (_machine, label, _leg_app), result in zip(legs, results):
                 outcome.verdicts.append(MachineVerdict(
-                    machine=machine.name, ok=True,
+                    machine=label, ok=True,
                     digest=result.app_output["digest"],
                     locks=result.app_output["locks"]))
         except ReproError:
             # Re-run serially to attribute the failure.
             outcome.verdicts = []
-            for machine in machines:
+            for machine, label, leg_app in legs:
                 try:
-                    result = machine.run(app, nprocs=nprocs)
+                    result = machine.run(leg_app, nprocs=nprocs)
                     outcome.verdicts.append(MachineVerdict(
-                        machine=machine.name, ok=True,
+                        machine=label, ok=True,
                         digest=result.app_output["digest"],
                         locks=result.app_output["locks"]))
                 except ReproError as exc:
                     outcome.verdicts.append(MachineVerdict(
-                        machine=machine.name, ok=False,
+                        machine=label, ok=False,
                         error=f"{type(exc).__name__}: {exc}"))
 
     failed = outcome.failing_machines()
@@ -402,26 +468,38 @@ def fuzz_run(seed: int, iters: int, *,
              regression_programs: Sequence[Dict[str, Any]] = (),
              log: Callable[[str], None] = lambda _msg: None
              ) -> FuzzReport:
-    """Replay regression programs, then ``iters`` fresh ones."""
+    """Replay regression programs, then ``iters`` fresh ones.
+
+    Every program (regression and fresh) also runs one chunked leg —
+    seeded-random OpBlock boundaries derived from the program digest —
+    differenced against the per-op legs; see :func:`run_program`.
+    """
     report = FuzzReport(iterations=iters, programs_run=0)
+
+    def chunk_seed_of(program: Dict[str, Any]) -> int:
+        return int(program_digest(program)[:8], 16)
 
     def run_one(program: Dict[str, Any], label: str) -> None:
         report.programs_run += 1
         outcome = run_program(program, machines, jobs=jobs,
-                              history=history)
+                              history=history,
+                              chunk_seed=chunk_seed_of(program))
         if outcome.ok:
             return
         log(f"FAIL {label}: {outcome.reason}")
         if shrink:
             minimal = shrink_program(
                 outcome.program,
-                lambda p: not run_program(p, machines, jobs=jobs,
-                                          history=history).ok)
+                lambda p: not run_program(
+                    p, machines, jobs=jobs, history=history,
+                    chunk_seed=chunk_seed_of(p)).ok)
             outcome = run_program(minimal, machines, jobs=jobs,
-                                  history=history)
+                                  history=history,
+                                  chunk_seed=chunk_seed_of(minimal))
             if outcome.ok:  # shrink landed on a flaky boundary
                 outcome = run_program(program, machines, jobs=jobs,
-                                      history=history)
+                                      history=history,
+                                      chunk_seed=chunk_seed_of(program))
         if seeds_dir:
             path = save_seed(outcome.program, outcome.reason, seeds_dir)
             log(f"  minimal repro saved to {path}")

@@ -180,14 +180,19 @@ class TreadMarksDsm:
     def _apply_notices(self, dst: int, upto: VectorClock) -> None:
         table = self.pages[dst]
         checker = self.checker
+        applied = [] if checker is not None else None
         for interval in self.log.newer_than(self.vcs[dst], upto):
             for page, changed in interval.pages.items():
                 wire = estimate_wire_bytes(changed)
                 if table.apply_notice(page, interval.node, wire,
                                       interval.index):
                     self.counters.pages_invalidated += 1
-                if checker is not None:
-                    checker.on_notice_applied(dst, interval, page)
+            if applied is not None:
+                applied.append(interval)
+        if applied:
+            # One batched checker call per merge instead of one hook
+            # call per (interval, page) write notice.
+            checker.on_notices_applied(dst, applied)
         self.vcs[dst].merge(upto)
 
     # ==================================================================

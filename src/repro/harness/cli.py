@@ -36,16 +36,18 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.errors import ConfigurationError
-from repro.harness.cache import (ResultCache, default_cache_dir,
-                                 default_ledger_path)
-from repro.harness.experiments import (REGISTRY, Scale, fault_sweep_options,
+# The CLI is written against the stable public surface (repro.__all__)
+# wherever it reaches for library behaviour; only harness plumbing
+# with no public equivalent (registry, default paths, exporters) comes
+# from deep modules.
+from repro import (ConfigurationError, ResultCache, Scale, run_context,
+                   trace_session)
+from repro.harness.cache import default_cache_dir, default_ledger_path
+from repro.harness.experiments import (REGISTRY, fault_sweep_options,
                                        list_experiments, run_experiment)
-from repro.harness.parallel import run_context
 from repro.ledger import Ledger, ledger_session
 from repro.net.faults import parse_schedule
-from repro.trace import (trace_session, write_chrome_trace,
-                         write_metrics_jsonl)
+from repro.trace import write_chrome_trace, write_metrics_jsonl
 
 
 def build_parser() -> argparse.ArgumentParser:

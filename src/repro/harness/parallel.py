@@ -47,22 +47,48 @@ run_id.  The allocated ``run_id`` rides inside the worker via
 any metrics line or trace derived from it) carries the same identity
 the ledger recorded.
 
+The pool
+--------
+
+Fan-out uses one *persistent* pool of warm workers per process: the
+first parallel plan pays the interpreter/numpy spawn cost, later
+plans reuse the same workers.  A plan's work list is pickled once
+into a :mod:`multiprocessing.shared_memory` segment and workers are
+dispatched *index batches* into it, so per-task transfer is a few
+integers regardless of machine/app size.  Because warm workers keep
+the environment they were forked with, each dispatch re-ships the
+ambient knobs that may legally change between plans
+(``REPRO_CHECK``, ``REPRO_PROGRESS``).
+
+Worker counts are clamped to physical cores: simulation is CPU-bound,
+so extra workers only add pickling and scheduling overhead.  When the
+clamp leaves a single worker (small boxes), the plan runs in-process
+instead — ``--jobs N`` then costs nothing over serial.
+
 Unless ``quiet``, per-run ``start``/``done`` lines stream to stderr —
 workers print their own start lines (enabled through the
-``REPRO_PROGRESS`` environment variable, which spawned processes
-inherit) and the parent prints completions with wall time and a
-running done/total count — so long sweeps are never silent.
+``REPRO_PROGRESS`` environment variable) and the parent prints
+completions with wall time and a running done/total count — so long
+sweeps are never silent.  All progress lines from a pooled plan are
+serialized through one queue drained by a single writer thread in the
+parent, so lines never interleave mid-line under load.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
+import pickle
 import sys
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.apps.base import Application
@@ -75,6 +101,12 @@ from repro.trace import session as trace_session
 #: Environment flag that tells pool workers to print start lines;
 #: set (and restored) by :func:`execute_plan` when progress is on.
 PROGRESS_ENV = "REPRO_PROGRESS"
+
+#: Environment variables whose ambient values are re-shipped to the
+#: persistent pool with every dispatch (warm workers keep the
+#: environment they were forked with, so inheritance alone would go
+#: stale the moment e.g. a ``checking()`` scope opens or closes).
+SHIPPED_ENV = ("REPRO_CHECK", PROGRESS_ENV)
 
 
 @dataclass(frozen=True)
@@ -174,6 +206,171 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 # ======================================================================
+# The persistent worker pool
+# ======================================================================
+def _cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def effective_workers(jobs: int, nwork: int) -> int:
+    """Worker processes a plan will actually use.
+
+    ``jobs`` is clamped to the number of unique runs and to physical
+    cores — CPU-bound simulations gain nothing from oversubscription,
+    they only pay extra transfer and context switching.  A result of
+    1 means the plan runs in-process (no pool at all).
+    """
+    return max(1, min(jobs, nwork, _cpu_count()))
+
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_PROGRESS_QUEUE: Optional[Any] = None
+_DRAIN_THREAD: Optional[threading.Thread] = None
+_WORKER_QUEUE: Optional[Any] = None   # set in workers by _init_worker
+
+
+def _progress_write(line: str) -> None:
+    """Emit one progress line through the single-writer channel.
+
+    In a pool worker this enqueues to the parent's drain thread; in
+    the parent (serial path, plan summaries) it enqueues too when the
+    queue exists, so worker and parent lines share one writer and
+    never interleave mid-line.  Before any pool has been created the
+    line goes straight to stderr.
+    """
+    queue = _WORKER_QUEUE or _PROGRESS_QUEUE
+    if queue is not None:
+        queue.put(line)
+    else:
+        sys.stderr.write(line)
+        sys.stderr.flush()
+
+
+def _drain_progress(queue: Any) -> None:
+    while True:
+        line = queue.get()
+        if line is None:
+            return
+        sys.stderr.write(line)
+        sys.stderr.flush()
+
+
+def _init_worker(queue: Any) -> None:
+    global _WORKER_QUEUE
+    _WORKER_QUEUE = queue
+
+
+def _ensure_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared warm pool, (re)built only when it must grow."""
+    global _POOL, _POOL_WORKERS, _PROGRESS_QUEUE, _DRAIN_THREAD
+    if _POOL is not None and _POOL_WORKERS >= workers:
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+    ctx = get_context()
+    if _PROGRESS_QUEUE is None:
+        _PROGRESS_QUEUE = ctx.Queue()
+        _DRAIN_THREAD = threading.Thread(
+            target=_drain_progress, args=(_PROGRESS_QUEUE,),
+            daemon=True)
+        _DRAIN_THREAD.start()
+    _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
+                                initializer=_init_worker,
+                                initargs=(_PROGRESS_QUEUE,))
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent).
+
+    Registered atexit; also the recovery path when a worker dies and
+    breaks the executor.  Stops the progress drain thread too, so
+    interpreter shutdown never catches it mid-``get``.
+    """
+    global _POOL, _POOL_WORKERS, _PROGRESS_QUEUE, _DRAIN_THREAD
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+    if _PROGRESS_QUEUE is not None:
+        _PROGRESS_QUEUE.put(None)
+        if _DRAIN_THREAD is not None:
+            _DRAIN_THREAD.join(timeout=2)
+        _PROGRESS_QUEUE.close()
+        _PROGRESS_QUEUE = None
+        _DRAIN_THREAD = None
+
+
+atexit.register(shutdown_pool)
+
+
+# -- the shared plan blob ---------------------------------------------
+_PLAN_CACHE: Dict[str, Any] = {}
+
+
+def _publish_plan(payload: Any) -> Tuple[SharedMemory, int]:
+    """Pickle ``payload`` once into a shared-memory segment.
+
+    Every worker attaches and unpickles it once per plan; dispatching
+    a task is then just a few indices.  The parent owns the segment
+    and unlinks it when the plan completes.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    shm = SharedMemory(create=True, size=len(blob))
+    shm.buf[:len(blob)] = blob
+    return shm, len(blob)
+
+
+def _load_plan(name: str, nbytes: int) -> Any:
+    """Worker side: attach, unpickle, and cache one plan blob."""
+    payload = _PLAN_CACHE.get(name)
+    if payload is None:
+        # Forked workers share the parent's resource tracker, so the
+        # attach-side registration collapses into the parent's own
+        # (the tracker cache is a set) and the parent's unlink cleans
+        # up for everyone — no per-worker deregistration needed.
+        shm = SharedMemory(name=name)
+        try:
+            payload = pickle.loads(bytes(shm.buf[:nbytes]))
+        finally:
+            shm.close()
+        _PLAN_CACHE.clear()   # one plan at a time; drop stale blobs
+        _PLAN_CACHE[name] = payload
+    return payload
+
+
+def _apply_env(env: Dict[str, Optional[str]]) -> None:
+    for key, value in env.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+def _run_batch(shm_name: str, nbytes: int, indices: Sequence[int],
+               env: Dict[str, Optional[str]]
+               ) -> List[Tuple[int, "RunResult", float]]:
+    """Execute one dispatched batch of work-list indices in a worker."""
+    _apply_env(env)
+    specs, run_ids = _load_plan(shm_name, nbytes)
+    return [(i, *_run_spec(specs[i], run_ids[i])) for i in indices]
+
+
+def _dispatch_batches(nwork: int, workers: int) -> List[List[int]]:
+    """Round-robin the work list into at most ``4 * workers`` batches.
+
+    Striding interleaves neighbours (adjacent specs — same series,
+    growing processor counts — correlate in cost), and four batches
+    per worker leaves slack for load imbalance while keeping the
+    dispatch count far below one-future-per-run on big sweeps.
+    """
+    nbatches = min(nwork, workers * 4)
+    return [list(range(b, nwork, nbatches)) for b in range(nbatches)]
+
+
+# ======================================================================
 # Execution
 # ======================================================================
 def _spec_label(spec: RunSpec) -> str:
@@ -193,11 +390,8 @@ def _run_spec(spec: RunSpec,
     rather than submission.
     """
     if os.environ.get(PROGRESS_ENV) == "1":
-        # Single write: worker processes share stderr, and two-part
-        # prints (text, then newline) interleave mid-line under load.
-        sys.stderr.write(f"[run {run_id or '-'}] start "
-                         f"{_spec_label(spec)} pid={os.getpid()}\n")
-        sys.stderr.flush()
+        _progress_write(f"[run {run_id or '-'}] start "
+                        f"{_spec_label(spec)} pid={os.getpid()}\n")
     start = time.perf_counter()
     with trace_session.no_session(), run_scope(run_id):
         result = spec.machine.run(spec.app, spec.nprocs,
@@ -229,6 +423,45 @@ def _execute_traced(specs: Sequence[RunSpec],
             by_key[keys[i]] = produced
         results[i] = _localize(produced, spec)
     return results  # type: ignore[return-value]
+
+
+def _execute_pooled(work: Sequence[Tuple[str, RunSpec]],
+                    run_id_of: Any, produced: Dict[str, RunResult],
+                    walls: Dict[str, float], progress_done: Any,
+                    workers: int) -> None:
+    """Run the work list on the persistent pool.
+
+    The ``(specs, run_ids)`` payload travels once through shared
+    memory; each dispatched future carries only work-list indices.
+    Results stream back per batch and are merged under their content
+    keys as batches complete.
+    """
+    specs = [spec for _key, spec in work]
+    run_ids = [run_id_of(key) for key, _spec in work]
+    env = {name: os.environ.get(name) for name in SHIPPED_ENV}
+    pool = _ensure_pool(workers)
+    shm, nbytes = _publish_plan((specs, run_ids))
+    try:
+        outstanding = {
+            pool.submit(_run_batch, shm.name, nbytes, batch, env)
+            for batch in _dispatch_batches(len(work), workers)}
+        while outstanding:
+            finished, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+            for future in finished:
+                for i, result, wall in future.result():
+                    key, spec = work[i]
+                    produced[key] = result
+                    walls[key] = wall
+                    progress_done(key, spec)
+    except BrokenProcessPool:
+        # A dead worker poisons the executor; discard it so the next
+        # plan gets a fresh pool instead of failing forever.
+        shutdown_pool()
+        raise
+    finally:
+        shm.close()
+        shm.unlink()
 
 
 def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
@@ -319,32 +552,20 @@ def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
         nonlocal done
         done += 1
         if not quiet:
-            sys.stderr.write(f"[run {run_id_of(key) or '-'}] done "
-                             f"{_spec_label(spec)} "
-                             f"wall={walls[key]:.2f}s "
-                             f"({done}/{total})\n")
-            sys.stderr.flush()
+            _progress_write(f"[run {run_id_of(key) or '-'}] done "
+                            f"{_spec_label(spec)} "
+                            f"wall={walls[key]:.2f}s "
+                            f"({done}/{total})\n")
 
-    pooled = len(work) > 1 and jobs > 1
+    workers = effective_workers(jobs, len(work))
+    pooled = workers > 1
     previous_progress = os.environ.get(PROGRESS_ENV)
     if not quiet:
         os.environ[PROGRESS_ENV] = "1"
     try:
         if pooled:
-            workers = min(jobs, len(work))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_run_spec, spec, run_id_of(key)):
-                        (key, spec)
-                    for key, spec in work}
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        key, spec = futures[future]
-                        produced[key], walls[key] = future.result()
-                        progress_done(key, spec)
+            _execute_pooled(work, run_id_of, produced, walls,
+                            progress_done, workers)
         else:
             for key, spec in work:
                 produced[key], walls[key] = _run_spec(spec,
@@ -375,11 +596,11 @@ def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
     if not quiet:
         unique = len(unique_order)
         hit_pct = 100.0 * len(hit_keys) / unique if unique else 0.0
-        print(f"[plan] specs={len(specs)} unique={unique} "
-              f"executed={total} cache_hits={len(hit_keys)} "
-              f"({hit_pct:.0f}%) jobs={jobs} "
-              f"wall={time.perf_counter() - plan_start:.2f}s",
-              file=sys.stderr, flush=True)
+        _progress_write(f"[plan] specs={len(specs)} unique={unique} "
+                        f"executed={total} cache_hits={len(hit_keys)} "
+                        f"({hit_pct:.0f}%) jobs={jobs} "
+                        f"workers={workers} "
+                        f"wall={time.perf_counter() - plan_start:.2f}s\n")
 
     for i, key in enumerate(keys):
         results[i] = _localize(produced[key], specs[i])

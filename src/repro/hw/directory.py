@@ -182,7 +182,7 @@ class DirectorySystem:
         end_ports = self._charge_ports(proc, lines, now + latency)
         end = max(now + latency, end_ports)
         if self.checker is not None:
-            self.checker.after_op("read", proc, end)
+            self.checker.after_op("read", proc, end, lines=lines)
         return end
 
     def write(self, proc: int, first_line: int, last_line: int,
@@ -243,7 +243,7 @@ class DirectorySystem:
         end_ports = self._charge_ports(proc, need_own, now + latency)
         end = max(now + latency, end_ports)
         if self.checker is not None:
-            self.checker.after_op("write", proc, end)
+            self.checker.after_op("write", proc, end, lines=need_own)
         return end
 
     # ------------------------------------------------------------------

@@ -129,7 +129,8 @@ class SnoopingSystem:
                                  res.writebacks, 0)
         self.counters.writebacks += res.writebacks
         if self.checker is not None:
-            self.checker.after_op("read", proc, end)
+            self.checker.after_op("read", proc, end,
+                                  lines=res.miss_lines)
         return end
 
     def write(self, proc: int, first_line: int, last_line: int,
@@ -160,5 +161,5 @@ class SnoopingSystem:
                                  res.upgrades)
         self.counters.writebacks += res.writebacks
         if self.checker is not None:
-            self.checker.after_op("write", proc, end)
+            self.checker.after_op("write", proc, end, lines=need_own)
         return end

@@ -13,6 +13,10 @@ simulated large-scale architectures.
   nodes + TreadMarks between nodes (§3).
 """
 
+import dataclasses
+from typing import Any, Dict, Optional, Tuple, Type, Union
+
+from repro.errors import ConfigurationError
 from repro.machines.all_hardware import AllHardwareMachine
 from repro.machines.all_software import AllSoftwareMachine
 from repro.machines.base import Machine
@@ -21,6 +25,85 @@ from repro.machines.hybrid import HybridMachine
 from repro.machines.sgi import SgiMachine
 from repro.machines import params
 
+#: Canonical name -> (machine class, its params dataclass).  The
+#: canonical names are the paper's labels — the same strings the
+#: machines report as ``result.machine`` (modulo variant suffixes).
+MACHINE_REGISTRY: Dict[str, Tuple[Type[Machine], type]] = {
+    "treadmarks": (DecTreadMarksMachine, params.DecAtmParams),
+    "sgi": (SgiMachine, params.SgiParams),
+    "as": (AllSoftwareMachine, params.AsParams),
+    "ah": (AllHardwareMachine, params.AhParams),
+    "hs": (HybridMachine, params.HsParams),
+}
+
+_ALIASES: Dict[str, str] = {
+    "tm": "treadmarks",
+    "dec": "treadmarks",
+    "dec-treadmarks": "treadmarks",
+    "all-software": "as",
+    "all_software": "as",
+    "all-hardware": "ah",
+    "all_hardware": "ah",
+    "hybrid": "hs",
+}
+
+
+def machine_names() -> Tuple[str, ...]:
+    """The canonical machine names, in registry (paper) order."""
+    return tuple(MACHINE_REGISTRY)
+
+
+def make_machine(name: str, nprocs: Optional[int] = None, *,
+                 params: Union[None, Any, Dict[str, Any]] = None,
+                 faults: Optional[Any] = None,
+                 **kwargs: Any) -> Machine:
+    """Build a machine by name — the stable construction entry point.
+
+    ``name`` is a canonical registry name (``treadmarks``, ``sgi``,
+    ``as``, ``ah``, ``hs``) or an alias (``tm``, ``dec``, ``hybrid``,
+    ...), case-insensitively.  ``params`` is either an instance of
+    the machine's params dataclass or a plain dict of field overrides
+    applied to the defaults (``{"page_bytes": 8192}``).  ``nprocs``
+    is optional and purely a validation convenience: when given, the
+    factory rejects a count the machine cannot run rather than
+    letting :meth:`Machine.run` fail later.  ``faults`` takes a
+    :class:`~repro.net.faults.FaultPlan` (software DSM machines
+    only); remaining keyword arguments go to the constructor
+    (``kernel_level=True``, ``eager_locks=...``).
+
+    The factory adds no state of its own: machines it returns are
+    indistinguishable — fingerprints, cache keys, ledger records —
+    from directly-constructed ones, and the class constructors remain
+    supported as the compatibility path.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    entry = MACHINE_REGISTRY.get(key)
+    if entry is None:
+        known = ", ".join(sorted(set(MACHINE_REGISTRY) | set(_ALIASES)))
+        raise ConfigurationError(
+            f"unknown machine '{name}' (known: {known})")
+    machine_cls, params_cls = entry
+    if isinstance(params, dict):
+        try:
+            params = dataclasses.replace(params_cls(), **params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad params override for '{key}': {exc}") from None
+    elif params is not None and not isinstance(params, params_cls):
+        raise ConfigurationError(
+            f"machine '{key}' takes {params_cls.__name__} params, "
+            f"got {type(params).__name__}")
+    if faults is not None:
+        kwargs["faults"] = faults
+    machine = machine_cls(params, **kwargs)
+    if nprocs is not None and nprocs > machine.max_procs():
+        raise ConfigurationError(
+            f"{machine.name} supports at most {machine.max_procs()} "
+            f"processors, requested {nprocs}")
+    return machine
+
+
 __all__ = [
     "Machine",
     "DecTreadMarksMachine",
@@ -28,5 +111,8 @@ __all__ = [
     "AllSoftwareMachine",
     "AllHardwareMachine",
     "HybridMachine",
+    "MACHINE_REGISTRY",
+    "machine_names",
+    "make_machine",
     "params",
 ]

@@ -7,9 +7,12 @@ identical speedups.
 
 import pytest
 
+import repro.harness.parallel as parallel
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import (RunPlan, current_context, execute_plan,
-                                    resolve_jobs, run_context, run_grid)
+from repro.harness.parallel import (RunPlan, current_context,
+                                    effective_workers, execute_plan,
+                                    resolve_jobs, run_context, run_grid,
+                                    shutdown_pool)
 from repro.harness.runner import compare_machines, speedup_series
 from repro.harness.workloads import Scale, make_app
 from repro.machines import DecTreadMarksMachine, SgiMachine
@@ -134,6 +137,45 @@ def test_run_grid_tags(app):
     with pytest.raises(ValueError):
         run_grid([("x", SgiMachine(), app, 1),
                   ("x", SgiMachine(), app, 2)])
+
+
+def test_effective_workers_clamps_to_cores_and_work(monkeypatch):
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 4)
+    assert effective_workers(8, 100) == 4     # cores bound
+    assert effective_workers(4, 2) == 2       # work bound
+    assert effective_workers(1, 100) == 1     # serial request
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 1)
+    assert effective_workers(8, 100) == 1     # small box -> in-process
+
+
+def test_forced_pool_matches_serial_and_stays_warm(monkeypatch):
+    """Exercise the real pool machinery (shared-memory plan blob,
+    batched dispatch, warm reuse, env re-ship) even on 1-CPU CI by
+    pretending the box has cores, and pin result identity."""
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 4)
+    app = make_app("sor_small", Scale.TEST)
+    plan = RunPlan()
+    for machine in (DecTreadMarksMachine(), SgiMachine()):
+        plan.add_series(machine, app, (1, 2))
+    try:
+        serial = [r.summary() for r in execute_plan(plan, jobs=1)]
+        pooled = [r.summary() for r in execute_plan(plan, jobs=4)]
+        assert pooled == serial
+        pool = parallel._POOL
+        assert pool is not None
+        again = [r.summary() for r in execute_plan(plan, jobs=4)]
+        assert again == serial
+        assert parallel._POOL is pool        # reused warm, not respawned
+    finally:
+        shutdown_pool()
+    assert parallel._POOL is None
+
+
+def test_dispatch_batches_cover_work_exactly_once():
+    batches = parallel._dispatch_batches(11, 2)
+    assert len(batches) <= 8
+    flat = sorted(i for batch in batches for i in batch)
+    assert flat == list(range(11))
 
 
 def test_run_context_ambient():
