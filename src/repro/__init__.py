@@ -43,9 +43,11 @@ from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
 from repro.net.faults import FaultPlan
 from repro.net.overhead import OverheadPreset, SoftwareOverhead
 from repro.stats import Counters, RunResult, SpeedupSeries
+from repro.sync import (BARRIER_ALGORITHMS, DEFAULT_SYNC, LOCK_ALGORITHMS,
+                        SyncPolicy, parse_sync)
 from repro.trace import Tracer, trace_session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # applications and the op vocabulary
@@ -80,6 +82,12 @@ __all__ = [
     "OverheadPreset",
     "SoftwareOverhead",
     "FaultPlan",
+    # synchronization design space
+    "SyncPolicy",
+    "parse_sync",
+    "DEFAULT_SYNC",
+    "LOCK_ALGORITHMS",
+    "BARRIER_ALGORITHMS",
     # run entry points
     "RunPlan",
     "RunSpec",

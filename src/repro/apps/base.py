@@ -63,6 +63,7 @@ class Application:
 
     # ------------------------------------------------------------------
     def check_nprocs(self, nprocs: int) -> None:
+        """Reject processor counts this program cannot split over."""
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1: {nprocs}")
 

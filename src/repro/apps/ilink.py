@@ -78,9 +78,11 @@ class IlinkApp(Application):
 
     # ------------------------------------------------------------------
     def regions(self, nprocs: int) -> Dict[str, int]:
+        """Two genarray banks, ping-ponged between iterations."""
         return {"gen_a": self.genarray_bytes, "gen_b": self.genarray_bytes}
 
     def init_data(self, ctx: AppContext) -> None:
+        """Uniform probabilities (the sparsity comes from the walk)."""
         for region in ("gen_a", "gen_b"):
             gen = ctx.store.view(region, FLOAT)
             gen[:] = 1.0 / max(1, gen.size)
@@ -95,6 +97,7 @@ class IlinkApp(Application):
 
     # ------------------------------------------------------------------
     def programs(self, ctx: AppContext) -> List[Program]:
+        """One statically-partitioned update worker per processor."""
         return [self._worker(ctx, p) for p in range(ctx.nprocs)]
 
     def _worker(self, ctx: AppContext, proc: int) -> Program:
@@ -133,6 +136,7 @@ class IlinkApp(Application):
 
     # ------------------------------------------------------------------
     def verify(self, ctx: AppContext) -> Dict[str, float]:
+        """Checksum of the bank holding the final iteration."""
         final = "gen_a" if self.iterations % 2 == 0 else "gen_b"
         gen = ctx.store.view(final, FLOAT)
         out = {"checksum": float(gen.sum())}

@@ -64,12 +64,15 @@ class SorApp(Application):
 
     @property
     def row_bytes(self) -> int:
+        """Bytes in one grid row — the false-sharing unit of §2.4.2."""
         return self.cols * BYTES_PER_CELL
 
     def regions(self, nprocs: int) -> Dict[str, int]:
+        """A single shared grid, boundary rows included."""
         return {"grid": self.total_rows * self.row_bytes}
 
     def init_data(self, ctx: AppContext) -> None:
+        """Zero interior with hot edges, or a random field."""
         grid = self._grid(ctx)
         if self.init == "zero":
             grid.fill(0.0)
@@ -88,6 +91,7 @@ class SorApp(Application):
 
     # ------------------------------------------------------------------
     def programs(self, ctx: AppContext) -> List[Program]:
+        """One worker per contiguous band of interior rows."""
         bands = chunk_ranges(self.rows, ctx.nprocs)
         return [self._worker(ctx, p, bands[p]) for p in range(ctx.nprocs)]
 
@@ -167,6 +171,7 @@ class SorApp(Application):
 
     # ------------------------------------------------------------------
     def verify(self, ctx: AppContext) -> Dict[str, float]:
+        """Grid checksum plus monotonicity checks for the zero init."""
         grid = self._grid(ctx)
         out = {
             "checksum": float(grid.sum()),

@@ -96,6 +96,7 @@ class TspApp(Application):
 
     # ------------------------------------------------------------------
     def regions(self, nprocs: int) -> Dict[str, int]:
+        """Shared tour queue, best-bound word, and distance table."""
         return {
             "tsp_queue": self.queue_capacity * SLOT_BYTES,
             "tsp_bound": 4096,
@@ -109,6 +110,7 @@ class TspApp(Application):
         return np.sqrt((diff ** 2).sum(axis=2))
 
     def init_data(self, ctx: AppContext) -> None:
+        """Load the distance table; seed the queue with the root tour."""
         dist = self._distances()
         ctx.store.view("tsp_dist", np.float64)[: dist.size] = dist.ravel()
         # Shared run state that models the queue contents; all access
@@ -186,6 +188,7 @@ class TspApp(Application):
 
     # ------------------------------------------------------------------
     def programs(self, ctx: AppContext) -> List[Program]:
+        """One branch-and-bound worker per processor."""
         return [self._worker(ctx, p) for p in range(ctx.nprocs)]
 
     def _worker(self, ctx: AppContext, proc: int) -> Program:
@@ -324,6 +327,7 @@ class TspApp(Application):
 
     # ------------------------------------------------------------------
     def verify(self, ctx: AppContext) -> Dict[str, object]:
+        """Check the parallel optimum against a sequential solve."""
         dist, min_edge = self._tables()
         key = (self.cities, self.coord_seed)
         solved = _SEQ_SOLVE_CACHE.get(key)

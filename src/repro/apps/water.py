@@ -78,6 +78,7 @@ class WaterApp(Application):
 
     # ------------------------------------------------------------------
     def regions(self, nprocs: int) -> Dict[str, int]:
+        """One molecule-record array (position, velocity, forces)."""
         return {"mol": self.molecules * RECORD_BYTES}
 
     def _records(self, ctx: AppContext) -> np.ndarray:
@@ -86,6 +87,7 @@ class WaterApp(Application):
             self.molecules, DOUBLES_PER_RECORD)
 
     def init_data(self, ctx: AppContext) -> None:
+        """Random positions in the box, small random velocities."""
         rng = np.random.default_rng(self.molecules * 7919 + 13)
         rec = self._records(ctx)
         rec.fill(0.0)
@@ -125,6 +127,7 @@ class WaterApp(Application):
 
     # ------------------------------------------------------------------
     def programs(self, ctx: AppContext) -> List[Program]:
+        """One force-compute/update worker per processor."""
         return [self._worker(ctx, p) for p in range(ctx.nprocs)]
 
     def _mol_write(self, mol: int) -> ops.Write:
@@ -218,6 +221,7 @@ class WaterApp(Application):
 
     # ------------------------------------------------------------------
     def verify(self, ctx: AppContext) -> Dict[str, float]:
+        """Position/velocity checksums; everything must stay finite."""
         rec = self._records(ctx)
         pos = rec[:, POS_OFF:POS_OFF + 3]
         vel = rec[:, VEL_OFF:VEL_OFF + 3]

@@ -1,11 +1,35 @@
-"""Centralized barrier manager.
+"""DSM barriers: centralized manager plus scalable alternatives.
 
-At a barrier, every node sends its arrival (carrying the intervals the
-manager has not yet seen) to a manager node; once all have arrived the
-manager broadcasts departures, each carrying the write notices that
-particular node lacks (§2.1).  Arrival processing serializes through
-the manager's handler CPU, which is what makes the measured
-8-processor barrier take ~2 ms on the ATM network.
+The paper's barrier (§2.1, the ``central`` default): every node sends
+its arrival (carrying the intervals the manager has not yet seen) to a
+manager node; once all have arrived the manager broadcasts departures,
+each carrying the write notices that particular node lacks.  Arrival
+processing serializes through the manager's handler CPU, which is what
+makes the measured 8-processor barrier take ~2 ms on the ATM network —
+and what makes it O(n) in the per-message software overhead.
+
+Two alternatives attack that serialization:
+
+* ``tree`` (:class:`TreeBarrier`) — a software combining tree of radix
+  ``tree_radix`` rooted at the manager: each node reports to its
+  parent only when its whole subtree has arrived, and departures fan
+  back down the same tree.  The same 2(n-1) messages, but handler
+  work spreads over the internal nodes and the critical path shrinks
+  from O(n) to O(radix · log n) message handling times.
+* ``combining`` (:class:`CombiningBarrier`) — the centralized
+  protocol carried by an in-network combining stage
+  (:class:`~repro.sync.combining.SwitchCombiner`): arrival increments
+  merge in the fabric on the way up and the departure wave is a
+  fabric multicast on the way down, so the manager CPU is charged for
+  a handful of messages instead of n-1.
+
+Consistency approximation (documented): all variants invoke the same
+``on_all_arrived`` global merge once everyone is in, and every
+departure carries ``depart_payload(dst)`` — the omniscient-log
+simplification of DESIGN.md §4.4.  Tree *arrival* payloads use the
+arriving node's own ``arrive_payload`` even though the message targets
+the parent rather than the manager; interval bytes are what they are
+regardless of the hop that carries them.
 
 The HS machine arranges for only the *last* processor of each node to
 trigger the node-level arrival (§3.1); that logic lives in the machine
@@ -15,9 +39,9 @@ layer — this module works purely at node granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.stats.counters import DataKind, MsgKind
 from repro.trace.tracer import Category
 
@@ -31,10 +55,20 @@ class _Episode:
     waiting: Dict[int, DepartCallback] = field(default_factory=dict)
     arrived: int = 0
     first_arrival: int = -1  # time of first node arrival (for tracing)
+    up: Dict[int, int] = field(default_factory=dict)  # tree up-counters
 
 
-class BarrierManager:
-    """All DSM barriers of one machine (one manager node for all)."""
+class DsmBarrierBase:
+    """Shared machinery of all DSM barrier algorithms.
+
+    Episode bookkeeping, double-arrival detection, the global
+    consistency merge at completion, and departure dispatch are
+    common; subclasses implement :meth:`_on_arrival` (how an arrival
+    propagates) and completion triggers :meth:`_release` (how
+    departures propagate).
+    """
+
+    algorithm = "base"
 
     def __init__(self, net, num_nodes: int, *,
                  manager_node: int = 0,
@@ -76,24 +110,15 @@ class BarrierManager:
             tracer.instant(node, Category.SYNC, "barrier_arrive",
                            engine.now, track=f"node{node}.dsm",
                            barrier=barrier_id, episode=episode.index)
+        self._on_arrival(barrier_id, episode, node)
 
-        if node == self.manager_node:
-            self._arrived(barrier_id, node)
-        else:
-            self.net.send(node, self.manager_node,
-                          self.arrive_payload(node),
-                          kind=MsgKind.BARRIER_ARRIVE,
-                          data_kind=DataKind.CONSISTENCY,
-                          on_delivered=lambda _t:
-                          self._arrived(barrier_id, node))
+    def _on_arrival(self, barrier_id: int, episode: _Episode,
+                    node: int) -> None:
+        raise NotImplementedError
 
-    def _arrived(self, barrier_id: int, node: int) -> None:
-        episode = self._episodes[barrier_id]
-        episode.arrived += 1
-        if episode.arrived < self.num_nodes:
-            return
-
-        # Everyone is in: merge knowledge, then broadcast departures.
+    # ------------------------------------------------------------------
+    def _complete(self, barrier_id: int, episode: _Episode) -> None:
+        """All nodes are in: merge knowledge, retire the episode."""
         self.on_all_arrived()
         self.completed += 1
         self._counts[barrier_id] = episode.index + 1
@@ -106,18 +131,201 @@ class BarrierManager:
                 f"barrier{barrier_id}#{episode.index}",
                 episode.first_arrival, engine.now, track="barrier",
                 nodes=self.num_nodes)
-        for dst, done in episode.waiting.items():
-            if dst == self.manager_node:
-                at = engine.now + self.local_cycles
-                engine.schedule_at(at, self._depart, dst, done, at)
-            else:
-                self.net.send(self.manager_node, dst,
-                              self.depart_payload(dst),
-                              kind=MsgKind.BARRIER_DEPART,
-                              data_kind=DataKind.CONSISTENCY,
-                              on_delivered=lambda t, d=dst, cb=done:
-                              self._depart(d, cb, t))
+        self._release(episode)
+
+    def _release(self, episode: _Episode) -> None:
+        raise NotImplementedError
+
+    def _local_depart(self, node: int, done: DepartCallback) -> None:
+        engine = self.net.engine
+        at = engine.now + self.local_cycles
+        engine.schedule_at(at, self._depart, node, done, at)
 
     def _depart(self, node: int, done: DepartCallback, time: int) -> None:
         self.on_depart(node)
         done(time)
+
+
+class BarrierManager(DsmBarrierBase):
+    """The paper's centralized barrier (one manager node for all)."""
+
+    algorithm = "central"
+
+    def _on_arrival(self, barrier_id: int, episode: _Episode,
+                    node: int) -> None:
+        if node == self.manager_node:
+            self._arrived(barrier_id, node)
+        else:
+            self._send_arrival(barrier_id, episode, node)
+
+    def _send_arrival(self, barrier_id: int, episode: _Episode,
+                      node: int) -> None:
+        self.net.send(node, self.manager_node,
+                      self.arrive_payload(node),
+                      kind=MsgKind.BARRIER_ARRIVE,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t:
+                      self._arrived(barrier_id, node))
+
+    def _arrived(self, barrier_id: int, node: int) -> None:
+        episode = self._episodes[barrier_id]
+        episode.arrived += 1
+        if episode.arrived < self.num_nodes:
+            return
+        self._complete(barrier_id, episode)
+
+    def _release(self, episode: _Episode) -> None:
+        for dst, done in episode.waiting.items():
+            if dst == self.manager_node:
+                self._local_depart(dst, done)
+            else:
+                self._send_depart(episode, dst, done)
+
+    def _send_depart(self, episode: _Episode, dst: int,
+                     done: DepartCallback) -> None:
+        self.net.send(self.manager_node, dst,
+                      self.depart_payload(dst),
+                      kind=MsgKind.BARRIER_DEPART,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda t, d=dst, cb=done:
+                      self._depart(d, cb, t))
+
+
+class CombiningBarrier(BarrierManager):
+    """Centralized counting carried by an in-network combining stage.
+
+    Protocol-identical to :class:`BarrierManager`; the transport
+    differs.  Arrival increments toward the manager merge in the
+    fabric (followers within a combining window charge the switch's
+    merge stage instead of the manager's handler CPU), and the
+    departure broadcast is a fabric multicast (replicas skip the
+    manager's send CPU).  ``combining_hits`` counts the merges.
+    """
+
+    algorithm = "combining"
+
+    def __init__(self, *args, combiner=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if combiner is None:
+            raise ConfigurationError(
+                "combining barrier needs a SwitchCombiner (combiner=...)")
+        self.combiner = combiner
+
+    def _send_arrival(self, barrier_id: int, episode: _Episode,
+                      node: int) -> None:
+        self.combiner.fan_in(node, self.manager_node,
+                             self.arrive_payload(node),
+                             kind=MsgKind.BARRIER_ARRIVE,
+                             key=("barrier", barrier_id, episode.index),
+                             on_delivered=lambda _t:
+                             self._arrived(barrier_id, node))
+
+    def _send_depart(self, episode: _Episode, dst: int,
+                     done: DepartCallback) -> None:
+        self.combiner.fan_out(self.manager_node, dst,
+                              self.depart_payload(dst),
+                              kind=MsgKind.BARRIER_DEPART,
+                              key=("barrier-release", episode.index),
+                              on_delivered=lambda t, d=dst, cb=done:
+                              self._depart(d, cb, t))
+
+
+class TreeBarrier(DsmBarrierBase):
+    """Software combining tree (MCS-style tournament) barrier.
+
+    Nodes form a static radix-``tree_radix`` tree rooted at the
+    manager.  Logical index of ``node`` is ``(node - root) mod n``;
+    logical index 0 is the root and index ``i`` has children
+    ``radix*i + 1 .. radix*i + radix``.  A node reports to its parent
+    only when it has seen its own arrival plus one report per child
+    subtree; the root completing triggers a departure wave back down
+    the same edges.
+    """
+
+    algorithm = "tree"
+
+    def __init__(self, *args, tree_radix: int = 4, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if tree_radix < 2:
+            raise ConfigurationError(
+                f"tree barrier radix must be >= 2, got {tree_radix}")
+        self.tree_radix = tree_radix
+
+    # -- static topology ------------------------------------------------
+    def _node_of(self, li: int) -> int:
+        return (self.manager_node + li) % self.num_nodes
+
+    def _index_of(self, node: int) -> int:
+        return (node - self.manager_node) % self.num_nodes
+
+    def _children(self, li: int) -> List[int]:
+        first = self.tree_radix * li + 1
+        return [c for c in range(first, first + self.tree_radix)
+                if c < self.num_nodes]
+
+    # -- up phase --------------------------------------------------------
+    def _on_arrival(self, barrier_id: int, episode: _Episode,
+                    node: int) -> None:
+        self._up_tick(barrier_id, episode, self._index_of(node))
+
+    def _up_tick(self, barrier_id: int, episode: _Episode,
+                 li: int) -> None:
+        episode.up[li] = episode.up.get(li, 0) + 1
+        if episode.up[li] < 1 + len(self._children(li)):
+            return
+        if li == 0:
+            self._complete(barrier_id, episode)
+            return
+        parent = (li - 1) // self.tree_radix
+        src = self._node_of(li)
+        self.net.send(src, self._node_of(parent),
+                      self.arrive_payload(src),
+                      kind=MsgKind.BARRIER_ARRIVE,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t:
+                      self._up_tick(barrier_id, episode, parent))
+
+    # -- down phase ------------------------------------------------------
+    def _release(self, episode: _Episode) -> None:
+        self._wave(episode, 0)
+        root = self._node_of(0)
+        self._local_depart(root, episode.waiting[root])
+
+    def _wave(self, episode: _Episode, li: int) -> None:
+        src = self._node_of(li)
+        for child in self._children(li):
+            dst = self._node_of(child)
+            self.net.send(src, dst, self.depart_payload(dst),
+                          kind=MsgKind.BARRIER_DEPART,
+                          data_kind=DataKind.CONSISTENCY,
+                          on_delivered=lambda t, c=child, d=dst:
+                          self._tree_depart(episode, c, d, t))
+
+    def _tree_depart(self, episode: _Episode, li: int, node: int,
+                     time: int) -> None:
+        self._wave(episode, li)  # forward first, then release locally
+        self._depart(node, episode.waiting[node], time)
+
+
+#: Barrier algorithm name -> implementation class.
+DSM_BARRIER_IMPLS: Dict[str, type] = {
+    "central": BarrierManager,
+    "tree": TreeBarrier,
+    "combining": CombiningBarrier,
+}
+
+
+def make_dsm_barrier(algorithm: str, net, num_nodes: int, *,
+                     combiner=None, tree_radix: int = 4,
+                     **kwargs) -> DsmBarrierBase:
+    """Build the DSM barrier for ``algorithm`` (see DSM_BARRIER_IMPLS)."""
+    impl = DSM_BARRIER_IMPLS.get(algorithm)
+    if impl is None:
+        raise ConfigurationError(
+            f"unknown DSM barrier algorithm '{algorithm}' "
+            f"(known: {', '.join(DSM_BARRIER_IMPLS)})")
+    if algorithm == "tree":
+        return impl(net, num_nodes, tree_radix=tree_radix, **kwargs)
+    if algorithm == "combining":
+        return impl(net, num_nodes, combiner=combiner, **kwargs)
+    return impl(net, num_nodes, **kwargs)

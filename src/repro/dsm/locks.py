@@ -1,17 +1,44 @@
-"""Distributed locks with a static manager and a migrating token.
+"""Distributed DSM locks: the pluggable lock-algorithm family.
 
-TreadMarks assigns each lock a static manager; the token rests at the
-last releaser.  An acquire sends a request to the manager, which
-forwards it to the probable owner (the last node it directed the token
-toward); the holder responds directly to the requester with a grant
-carrying the write notices the requester lacks (§2.1, §2.2).  The
-minimum remote acquisition is therefore three messages (two when the
-manager still holds the token) and zero when the token already rests
-at the requesting node — which is also how the HS architecture gets
-its free intra-node lock handoffs (§3.1).
+TreadMarks' own algorithm (§2.1) — the ``token`` default — assigns
+each lock a static manager; the token rests at the last releaser.  An
+acquire sends a request to the manager, which forwards it to the
+probable owner; the holder responds directly to the requester with a
+grant carrying the write notices the requester lacks.  The minimum
+remote acquisition is therefore three messages (two when the manager
+still holds the token) and zero when the token already rests at the
+requesting node — which is also how the HS architecture gets its free
+intra-node lock handoffs (§3.1).
 
-Waiters form a FIFO queue that conceptually travels with the token;
-grants to a co-resident waiter are local and message-free.
+Three alternatives from the scalable-synchronization literature share
+that consistency plumbing (every grant still flows releaser→acquirer,
+because LRC rides on it) and differ in how the releaser learns its
+successor:
+
+* ``mcs`` (:class:`McsLocks`) — an MCS-style distributed queue: the
+  requester swaps itself onto a tail pointer at the lock's home, the
+  swap reply names its predecessor, and a set-next message links it
+  into the predecessor's queue node.  One extra (off-critical-path)
+  message per contended acquire, but the handoff is a single direct
+  predecessor→successor grant and enqueue traffic lands on the
+  *predecessor* instead of piling onto the current holder.
+* ``ticket`` (:class:`TicketLocks`) — a centralized ticket counter:
+  acquires take a ticket at the home, and every contended handoff is
+  home-mediated (release notify → home reply → grant), putting two
+  extra messages on the handoff critical path.  Perfectly fair, and
+  exactly why ticket locks are a poor fit for message-passing DSM.
+* ``combining`` (:class:`CombiningLocks`) — ticket order taken by a
+  combining fetch-and-add: home-bound request/release traffic merges
+  in the fabric (:class:`~repro.sync.combining.SwitchCombiner`), so
+  request bursts stop serializing through the home node's handler
+  CPU.
+
+All algorithms keep two shared fast paths: a token resting at the
+requesting node with nobody waiting grants locally for
+``local_grant_cycles``, and requests from the token-resident node
+join the queue locally (the HS intra-node behaviour).  Waiters form a
+global FIFO queue; grants to a co-resident waiter are local and
+message-free.
 """
 
 from __future__ import annotations
@@ -20,7 +47,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.stats.counters import DataKind, MsgKind
 from repro.trace.tracer import Category
 
@@ -35,6 +62,7 @@ class _Waiter:
     vc_bytes_hint: int
     done: GrantCallback
     remote: bool
+    requested: int = 0  # acquire-call time (queue-wait accounting)
 
 
 @dataclass
@@ -50,6 +78,7 @@ class LockRecord:
     queue: Deque[_Waiter] = field(default_factory=deque)
     grants: int = 0
     local_grants: int = 0
+    granted_at: int = 0  # last grant time (hold-cycle accounting)
 
     @property
     def available(self) -> bool:
@@ -57,8 +86,8 @@ class LockRecord:
         return not self.held and not self.in_transit and not self.queue
 
 
-class DistributedLocks:
-    """All DSM locks of one machine.
+class DsmLocks:
+    """All DSM locks of one machine (shared machinery, one algorithm).
 
     The owning protocol supplies:
 
@@ -67,26 +96,35 @@ class DistributedLocks:
       bytes a grant carries (vector clock + write notices),
     * ``on_granted(to_node, from_node)`` applying those notices, and
     * ``local_grant_cycles`` for token-resident acquisitions.
+
+    Subclasses implement :meth:`_remote_acquire` (how a request finds
+    the current holder/queue) and may override :meth:`_after_release`
+    (how the releaser learns its successor).
     """
+
+    algorithm = "base"
 
     def __init__(self, net, num_nodes: int, *,
                  grant_payload: Callable[[int, int], int],
                  on_granted: Callable[[int, int], None],
                  request_payload_bytes: int,
-                 local_grant_cycles: int = 100) -> None:
+                 local_grant_cycles: int = 100,
+                 combiner=None) -> None:
         self.net = net
         self.num_nodes = num_nodes
         self.grant_payload = grant_payload
         self.on_granted = on_granted
         self.request_payload_bytes = request_payload_bytes
         self.local_grant_cycles = local_grant_cycles
+        self.combiner = combiner
         self._locks: Dict[int, LockRecord] = {}
         # Manager-side probable-owner pointers: lock -> node the manager
-        # last directed the token toward.
+        # last directed the token toward (used by the token algorithm).
         self._probable_owner: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def record(self, lock_id: int) -> LockRecord:
+        """The (lazily created) global record of ``lock_id``."""
         rec = self._locks.get(lock_id)
         if rec is None:
             manager = lock_id % self.num_nodes
@@ -107,41 +145,31 @@ class DistributedLocks:
             rec.holder_proc = proc
             rec.grants += 1
             rec.local_grants += 1
-            engine.schedule(self.local_grant_cycles, done,
-                            engine.now + self.local_grant_cycles, False)
+            at = engine.now + self.local_grant_cycles
+            rec.granted_at = at
+            self.net.counters.lock_wait_cycles += self.local_grant_cycles
+            engine.schedule_at(at, done, at, False)
             return
 
         waiter = _Waiter(node, proc, self.request_payload_bytes, done,
-                         remote=(rec.token_node != node))
+                         remote=(rec.token_node != node),
+                         requested=engine.now)
         if rec.token_node == node and not rec.in_transit:
             # Token is here but held (or others queued): wait locally.
             rec.queue.append(waiter)
             return
 
-        # Remote path: request -> manager -> probable owner.
+        # Remote path: algorithm-specific routing to the holder/queue.
         self.net.counters.remote_lock_acquires += 1
         tracer = engine.tracer
         if tracer.enabled:
             tracer.instant(node, Category.SYNC, "lock_request",
                            engine.now, track=f"node{node}.dsm",
                            lock=lock_id)
-        self.net.send(node, rec.manager, self.request_payload_bytes,
-                      kind=MsgKind.LOCK_REQUEST,
-                      data_kind=DataKind.CONSISTENCY,
-                      on_delivered=lambda _t, r=rec, w=waiter:
-                      self._at_manager(r, w))
+        self._remote_acquire(rec, waiter)
 
-    def _at_manager(self, rec: LockRecord, waiter: _Waiter) -> None:
-        target = self._probable_owner[rec.lock_id]
-        self._probable_owner[rec.lock_id] = waiter.node
-        if target == rec.manager:
-            self._enqueue_at_holder(rec, waiter)
-            return
-        self.net.send(rec.manager, target, self.request_payload_bytes,
-                      kind=MsgKind.LOCK_FORWARD,
-                      data_kind=DataKind.CONSISTENCY,
-                      on_delivered=lambda _t:
-                      self._enqueue_at_holder(rec, waiter))
+    def _remote_acquire(self, rec: LockRecord, waiter: _Waiter) -> None:
+        raise NotImplementedError
 
     def _enqueue_at_holder(self, rec: LockRecord, waiter: _Waiter) -> None:
         if rec.available:
@@ -162,18 +190,24 @@ class DistributedLocks:
             raise ProtocolError(
                 f"release of lock {lock_id} by proc {proc}, held by "
                 f"{rec.holder_proc}")
+        engine = self.net.engine
+        self.net.counters.lock_hold_cycles += engine.now - rec.granted_at
         rec.held = False
         rec.holder_proc = None
-        if rec.queue:
-            self._grant(rec, rec.queue.popleft())
-        engine = self.net.engine
+        self._after_release(rec, node)
         engine.schedule(self.local_grant_cycles, done,
                         engine.now + self.local_grant_cycles)
+
+    def _after_release(self, rec: LockRecord, node: int) -> None:
+        """Hand off to the next waiter; the releaser knows its queue."""
+        if rec.queue:
+            self._grant(rec, rec.queue.popleft())
 
     # ------------------------------------------------------------------
     def _grant(self, rec: LockRecord, waiter: _Waiter) -> None:
         rec.grants += 1
         engine = self.net.engine
+        counters = self.net.counters
         if waiter.node == rec.token_node:
             # Intra-node handoff: shared memory within the node, no
             # messages, no consistency actions.
@@ -181,6 +215,8 @@ class DistributedLocks:
             rec.holder_proc = waiter.proc
             rec.local_grants += 1
             at = engine.now + self.local_grant_cycles
+            rec.granted_at = at
+            counters.lock_wait_cycles += at - waiter.requested
             engine.schedule_at(at, waiter.done, at, False)
             return
 
@@ -198,6 +234,8 @@ class DistributedLocks:
             r.in_transit = False
             r.held = True
             r.holder_proc = w.proc
+            r.granted_at = time
+            counters.lock_wait_cycles += time - w.requested
             self.on_granted(w.node, s)
             w.done(time, True)
 
@@ -208,10 +246,214 @@ class DistributedLocks:
 
     # ------------------------------------------------------------------
     def total_grants(self) -> int:
+        """Total grants (local + remote) across all locks."""
         return sum(r.grants for r in self._locks.values())
 
     def holder_of(self, lock_id: int) -> Optional[int]:
+        """The node holding ``lock_id``, or None if free."""
         rec = self._locks.get(lock_id)
         if rec is None or not rec.held:
             return None
         return rec.token_node
+
+
+class DistributedLocks(DsmLocks):
+    """The paper's token-forwarding lock (TreadMarks §2.1)."""
+
+    algorithm = "token"
+
+    def _remote_acquire(self, rec: LockRecord, waiter: _Waiter) -> None:
+        # Request -> manager -> probable owner.
+        self.net.send(waiter.node, rec.manager, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_REQUEST,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t, r=rec, w=waiter:
+                      self._at_manager(r, w))
+
+    def _at_manager(self, rec: LockRecord, waiter: _Waiter) -> None:
+        target = self._probable_owner[rec.lock_id]
+        self._probable_owner[rec.lock_id] = waiter.node
+        if target == rec.manager:
+            self._enqueue_at_holder(rec, waiter)
+            return
+        self.net.send(rec.manager, target, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_FORWARD,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t:
+                      self._enqueue_at_holder(rec, waiter))
+
+
+#: Back-compat alias: the token algorithm is the historical class.
+TokenLocks = DistributedLocks
+
+
+class McsLocks(DsmLocks):
+    """MCS-style distributed queue lock (swap at home, direct handoff).
+
+    A contended acquire is three small messages — swap request to the
+    home, swap reply naming the predecessor, set-next to the
+    predecessor — of which none sits on the handoff critical path:
+    the release is still a single direct grant to the successor.
+    Compared to ``token``, enqueue traffic is spread over predecessor
+    nodes instead of concentrating at the current holder.
+    """
+
+    algorithm = "mcs"
+
+    def _remote_acquire(self, rec: LockRecord, waiter: _Waiter) -> None:
+        # The swap on the tail pointer at the lock's home.
+        self.net.send(waiter.node, rec.manager, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_REQUEST,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t, r=rec, w=waiter:
+                      self._swap_at_home(r, w))
+
+    def _swap_at_home(self, rec: LockRecord, waiter: _Waiter) -> None:
+        if rec.available:
+            # Lock at rest: the home redirects to the resting token,
+            # exactly like the token algorithm's forward.
+            target = rec.token_node
+            if target == rec.manager:
+                self._enqueue_at_holder(rec, waiter)
+                return
+            self.net.send(rec.manager, target, self.request_payload_bytes,
+                          kind=MsgKind.LOCK_FORWARD,
+                          data_kind=DataKind.CONSISTENCY,
+                          on_delivered=lambda _t:
+                          self._enqueue_at_holder(rec, waiter))
+            return
+
+        # Busy: the swap appoints the previous tail as predecessor.
+        pred_node = rec.queue[-1].node if rec.queue else rec.token_node
+        rec.queue.append(waiter)
+
+        def swap_returned(_t: int) -> None:
+            if pred_node != waiter.node:
+                # set-next: link into the predecessor's queue node
+                # (fire-and-forget; cost only, off the critical path).
+                self.net.send(waiter.node, pred_node,
+                              self.request_payload_bytes,
+                              kind=MsgKind.LOCK_FORWARD,
+                              data_kind=DataKind.CONSISTENCY)
+
+        self.net.send(rec.manager, waiter.node, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_FORWARD,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=swap_returned)
+
+
+class TicketLocks(DsmLocks):
+    """Centralized ticket lock at the lock's home node.
+
+    Acquire order is the order requests reach the home (a ticket
+    grab); the queue lives there.  The price appears at release: the
+    releaser does not know its successor, so every contended handoff
+    is release-notify → home → reply → grant — two extra messages on
+    the critical path, all serialized through the home's handler CPU.
+    """
+
+    algorithm = "ticket"
+
+    def _remote_acquire(self, rec: LockRecord, waiter: _Waiter) -> None:
+        self._send_take_ticket(rec, waiter)
+
+    def _send_take_ticket(self, rec: LockRecord, waiter: _Waiter) -> None:
+        self.net.send(waiter.node, rec.manager, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_REQUEST,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t, r=rec, w=waiter:
+                      self._at_home(r, w))
+
+    def _at_home(self, rec: LockRecord, waiter: _Waiter) -> None:
+        if rec.available:
+            target = rec.token_node
+            if target == rec.manager:
+                self._enqueue_at_holder(rec, waiter)
+                return
+            self.net.send(rec.manager, target, self.request_payload_bytes,
+                          kind=MsgKind.LOCK_FORWARD,
+                          data_kind=DataKind.CONSISTENCY,
+                          on_delivered=lambda _t:
+                          self._enqueue_at_holder(rec, waiter))
+            return
+        rec.queue.append(waiter)
+
+    def _after_release(self, rec: LockRecord, node: int) -> None:
+        if not rec.queue:
+            return  # token rests at the releaser, as in `token`
+        # Home-mediated handoff: notify home, home names the next
+        # ticket holder, the releaser grants.
+        rec.in_transit = True
+
+        def home_replied(_t: int) -> None:
+            rec.in_transit = False
+            if rec.queue:
+                self._grant(rec, rec.queue.popleft())
+
+        def at_home(_t: int) -> None:
+            self.net.send(rec.manager, node, self.request_payload_bytes,
+                          kind=MsgKind.LOCK_FORWARD,
+                          data_kind=DataKind.CONSISTENCY,
+                          on_delivered=home_replied)
+
+        self._send_release_notify(rec, node, at_home)
+
+    def _send_release_notify(self, rec: LockRecord, node: int,
+                             on_delivered: Callable[[int], None]) -> None:
+        self.net.send(node, rec.manager, self.request_payload_bytes,
+                      kind=MsgKind.LOCK_RELEASE,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=on_delivered)
+
+
+class CombiningLocks(TicketLocks):
+    """Ticket order taken by an in-network combining fetch-and-add.
+
+    Identical to :class:`TicketLocks` except that the two home-bound
+    hops — the ticket grab and the release notify — travel through
+    the combining switch: concurrent requests for the same lock merge
+    in the fabric and stop serializing through the home node's
+    handler CPU.  ``combining_hits`` counts the merges.
+    """
+
+    algorithm = "combining"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.combiner is None:
+            raise ConfigurationError(
+                "combining locks need a SwitchCombiner (combiner=...)")
+
+    def _send_take_ticket(self, rec: LockRecord, waiter: _Waiter) -> None:
+        self.combiner.fan_in(waiter.node, rec.manager,
+                             self.request_payload_bytes,
+                             kind=MsgKind.LOCK_REQUEST,
+                             key=("lock", rec.lock_id),
+                             on_delivered=lambda _t, r=rec, w=waiter:
+                             self._at_home(r, w))
+
+    def _send_release_notify(self, rec: LockRecord, node: int,
+                             on_delivered: Callable[[int], None]) -> None:
+        self.combiner.fan_in(node, rec.manager, self.request_payload_bytes,
+                             kind=MsgKind.LOCK_RELEASE,
+                             key=("lock-release", rec.lock_id),
+                             on_delivered=on_delivered)
+
+
+#: Lock algorithm name -> implementation class.
+DSM_LOCK_IMPLS: Dict[str, type] = {
+    "token": DistributedLocks,
+    "mcs": McsLocks,
+    "ticket": TicketLocks,
+    "combining": CombiningLocks,
+}
+
+
+def make_dsm_locks(algorithm: str, net, num_nodes: int, **kwargs) -> DsmLocks:
+    """Build the DSM lock table for ``algorithm`` (see DSM_LOCK_IMPLS)."""
+    impl = DSM_LOCK_IMPLS.get(algorithm)
+    if impl is None:
+        raise ConfigurationError(
+            f"unknown DSM lock algorithm '{algorithm}' "
+            f"(known: {', '.join(DSM_LOCK_IMPLS)})")
+    return impl(net, num_nodes, **kwargs)

@@ -34,8 +34,8 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.check.checker import DsmChecker, active_check_config
 from repro.dsm.diff import estimate_wire_bytes
 from repro.dsm.interval import Interval, IntervalLog
-from repro.dsm.locks import DistributedLocks
-from repro.dsm.barriers import BarrierManager
+from repro.dsm.locks import make_dsm_locks
+from repro.dsm.barriers import make_dsm_barrier
 from repro.dsm.pagetable import NodePages
 from repro.dsm.vectorclock import VectorClock
 from repro.errors import ConfigurationError, ProtocolError
@@ -43,6 +43,7 @@ from repro.mem.layout import AddressSpace
 from repro.net.atm import AtmNetwork
 from repro.net.overhead import SoftwareOverhead
 from repro.stats.counters import Counters, DataKind, MsgKind
+from repro.sync import DEFAULT_SYNC, SwitchCombiner, SyncPolicy
 from repro.trace.tracer import Category
 
 DoneCallback = Callable[[int], None]
@@ -62,6 +63,10 @@ class DsmConfig:
     #: False disables run-length diffs: faults transfer whole pages
     #: (Ivy-style single-writer data movement; the A1 ablation).
     use_diffs: bool = True
+    #: Which lock/barrier algorithms implement acquire/release and
+    #: barrier_arrive (see :mod:`repro.sync`); the default is the
+    #: paper's token lock + centralized barrier.
+    sync: SyncPolicy = DEFAULT_SYNC
 
     def lock_is_eager(self, lock_id: int) -> bool:
         if self.eager_locks is None:
@@ -112,21 +117,35 @@ class TreadMarksDsm:
         #: machine uses it to invalidate stale lines in node caches.
         self.page_refreshed_hook: Optional[Callable[[int, int], None]] = None
 
-        self.locks = DistributedLocks(
-            net, n,
+        sync = config.sync
+        combiner = None
+        if "combining" in (sync.lock, sync.barrier):
+            # Window ≈ the handler time a message would have cost (the
+            # burst the fabric can merge); merge stage ≈ one switch
+            # transit.
+            combiner = SwitchCombiner(
+                net,
+                window_cycles=overhead.recv_cost(0),
+                combine_cycles=max(1, net.switch_latency))
+        self.combiner = combiner
+        self.locks = make_dsm_locks(
+            sync.lock, net, n,
             grant_payload=self._grant_payload,
             on_granted=self._on_granted,
             request_payload_bytes=config.request_payload_bytes,
             local_grant_cycles=config.local_grant_cycles,
+            combiner=combiner,
         )
-        self.barrier = BarrierManager(
-            net, n,
+        self.barrier = make_dsm_barrier(
+            sync.barrier, net, n,
             manager_node=config.barrier_manager_node,
             arrive_payload=self._arrive_payload,
             depart_payload=self._depart_payload,
             on_all_arrived=self._merge_all_clocks,
             on_depart=self._on_depart,
             local_cycles=config.barrier_local_cycles,
+            combiner=combiner,
+            tree_radix=sync.tree_radix,
         )
         self._merged_vc: Optional[VectorClock] = None
         #: Online invariant checker (repro.check); None unless a check

@@ -51,7 +51,10 @@ from repro.stats.result import RunResult
 #: any machine/application parameter (protocol logic, timing math).
 #: v2: reliable-delivery/fault-injection layer — fault params joined
 #: the machine fingerprint, so pre-fault entries must not be reused.
-CACHE_VERSION = 2
+#: v3: synchronization design space — the Counters schema grew
+#: lock-wait/hold and combining-hit fields, so pre-sync entries would
+#: replay with silently-zero counters.
+CACHE_VERSION = 3
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -125,6 +128,7 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> str:
+        """On-disk location for ``key`` (two-level fan-out)."""
         return os.path.join(self.root, key[:2], f"{key}.json")
 
     def get(self, key: str) -> Optional[RunResult]:
@@ -163,6 +167,7 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
+        """Hit/miss/store tallies since this cache was opened."""
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores}
 

@@ -44,7 +44,8 @@ from repro import (ConfigurationError, ResultCache, Scale, run_context,
                    trace_session)
 from repro.harness.cache import default_cache_dir, default_ledger_path
 from repro.harness.experiments import (REGISTRY, fault_sweep_options,
-                                       list_experiments, run_experiment)
+                                       list_experiments, run_experiment,
+                                       sync_sweep_options)
 from repro.ledger import Ledger, ledger_session
 from repro.net.faults import parse_schedule
 from repro.trace import write_chrome_trace, write_metrics_jsonl
@@ -84,6 +85,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault-sweep: targeted fault rules, e.g. "
                              "'drop:diff_request:src=2:nth=3; "
                              "dup:lock_grant'")
+    runner.add_argument("--sync-lock", action="append",
+                        dest="sync_locks", metavar="ALG", default=None,
+                        help="sync-sweep: lock algorithm to include "
+                             "(repeatable; token/mcs/ticket/combining; "
+                             "default: all)")
+    runner.add_argument("--sync-barrier", action="append",
+                        dest="sync_barriers", metavar="ALG", default=None,
+                        help="sync-sweep: barrier algorithm to include "
+                             "(repeatable; central/tree/combining; "
+                             "default: all)")
+    runner.add_argument("--sync-workload", action="append",
+                        dest="sync_workloads", metavar="NAME",
+                        default=None,
+                        help="sync-sweep: workload to include "
+                             "(repeatable; default: tsp18 and mwater)")
+    runner.add_argument("--sync-machine", action="append",
+                        dest="sync_machines", metavar="NAME",
+                        default=None,
+                        help="sync-sweep: machine to include "
+                             "(repeatable; default: as, ah, hs)")
     _add_exec_options(runner)
     runner.set_defaults(func=cmd_run)
 
@@ -254,6 +275,25 @@ def _fault_overrides(args: argparse.Namespace, ids: List[str]):
     return overrides or None
 
 
+def _sync_overrides(args: argparse.Namespace, ids: List[str]):
+    """Build sync_sweep_options kwargs from CLI flags (or None)."""
+    overrides = {}
+    if args.sync_locks is not None:
+        overrides["locks"] = tuple(args.sync_locks)
+    if args.sync_barriers is not None:
+        overrides["barriers"] = tuple(args.sync_barriers)
+    if args.sync_workloads is not None:
+        overrides["workloads"] = tuple(args.sync_workloads)
+    if args.sync_machines is not None:
+        overrides["machines"] = tuple(args.sync_machines)
+    if overrides and "sync-sweep" not in ids:
+        raise ConfigurationError(
+            "--sync-lock/--sync-barrier/--sync-workload/--sync-machine "
+            "parameterize the 'sync-sweep' experiment, which is not "
+            "among the ids to run")
+    return overrides or None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scale = Scale(args.scale)
     ids = _resolve_ids(args.ids)
@@ -261,6 +301,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     try:
         fault_overrides = _fault_overrides(args, ids)
+        sync_overrides = _sync_overrides(args, ids)
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -280,7 +321,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     fault_ctx = (fault_sweep_options(**fault_overrides)
                  if fault_overrides else contextlib.nullcontext())
-    with fault_ctx, ledger_session(ledger), \
+    sync_ctx = (sync_sweep_options(**sync_overrides)
+                if sync_overrides else contextlib.nullcontext())
+    with fault_ctx, sync_ctx, ledger_session(ledger), \
             run_context(jobs=args.jobs, cache=cache, ledger=ledger,
                         quiet=args.quiet):
         if args.metrics_out:

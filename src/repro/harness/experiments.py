@@ -20,10 +20,12 @@ from repro.harness.runner import compare_machines, speedup_series
 from repro.harness.workloads import (EXPERIMENTAL_PROCS, SIMULATED_PROCS,
                                      Scale, make_app)
 from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
-                            DecTreadMarksMachine, HybridMachine, SgiMachine)
+                            DecTreadMarksMachine, HybridMachine, SgiMachine,
+                            make_machine)
 from repro.net.faults import FaultPlan, FaultRule
 from repro.net.overhead import OVERHEAD_SWEEP
 from repro.stats.result import SpeedupSeries
+from repro.sync import BARRIER_ALGORITHMS, LOCK_ALGORITHMS, SyncPolicy
 
 
 @dataclass
@@ -718,6 +720,138 @@ def run_fault_sweep(scale: Scale) -> Report:
     return report
 
 
+# ======================================================================
+# The synchronization design space: the sync sweep
+# ======================================================================
+
+#: One lock-heavy and one barrier-heavy workload — the two traffic
+#: patterns the lock and barrier axes of the design space stress.
+SYNC_SWEEP_WORKLOADS: Tuple[str, ...] = ("tsp18", "mwater")
+
+#: The three simulated large-scale architectures; the experimental
+#: machines can be swept too (``sync_sweep_options(machines=...)``)
+#: but cap at 8 processors where the policies barely separate.
+SYNC_SWEEP_MACHINES: Tuple[str, ...] = ("as", "ah", "hs")
+
+
+@dataclass(frozen=True)
+class SyncSweepOptions:
+    """Parameters of the ``sync-sweep`` experiment."""
+
+    locks: Tuple[str, ...] = LOCK_ALGORITHMS
+    barriers: Tuple[str, ...] = BARRIER_ALGORITHMS
+    workloads: Tuple[str, ...] = SYNC_SWEEP_WORKLOADS
+    machines: Tuple[str, ...] = SYNC_SWEEP_MACHINES
+
+    def policies(self) -> List[SyncPolicy]:
+        return [SyncPolicy(lock=lk, barrier=bar)
+                for lk in self.locks for bar in self.barriers]
+
+
+_sync_options: List[SyncSweepOptions] = []
+
+
+@contextmanager
+def sync_sweep_options(**kwargs):
+    """Ambient overrides for ``sync-sweep`` (mirrors ``run_context``)."""
+    opts = SyncSweepOptions(**kwargs)
+    _sync_options.append(opts)
+    try:
+        yield opts
+    finally:
+        _sync_options.pop()
+
+
+def current_sync_options() -> SyncSweepOptions:
+    return _sync_options[-1] if _sync_options else SyncSweepOptions()
+
+
+@_register("sync-sweep",
+           "Speedup across the lock x barrier design space",
+           "DESIGN.md §sync",
+           "Tree/combining barriers lift the software machines at high "
+           "processor counts (the centralized manager's O(n) handler "
+           "serialization is the bottleneck they remove); lock choice "
+           "barely moves DSM apps.  AH is nearly flat across policies.")
+def run_sync_sweep(scale: Scale) -> Report:
+    opts = current_sync_options()
+    procs = tuple(SIMULATED_PROCS[scale])
+    top = max(procs)
+    policies = opts.policies()
+    # One plan for the whole (machine x workload x policy) grid.  The
+    # 1-processor baselines dedup across policies: a software machine's
+    # uniprocessor fingerprint hides everything non-local, including
+    # the sync policy, so each (machine, workload) baseline runs once.
+    plan = RunPlan()
+    layout = []
+    for mname in opts.machines:
+        for workload in opts.workloads:
+            app = make_app(workload, scale)
+            for policy in policies:
+                machine = make_machine(mname, sync=policy)
+                indices = plan.add_series(machine, app, (1,) + procs)
+                layout.append((mname, workload, policy, machine, indices))
+    results = execute_plan(plan)
+
+    rows = []
+    data: Dict[str, Dict] = {}
+    for mname, workload, policy, machine, indices in layout:
+        base = results[indices[0]]
+        series = SpeedupSeries(machine.name, workload, base.seconds)
+        for index in indices:
+            series.add(results[index])
+        r_top = series.at(top)
+        c = r_top.counters
+        rows.append([mname, workload, policy.label(),
+                     series.speedups()[top], c.combining_hits])
+        data.setdefault(workload, {}).setdefault(mname, {})[
+            policy.label()] = {
+            "speedups": {str(p): s for p, s in series.speedups().items()},
+            "seconds": r_top.seconds,
+            "combining_hits": c.combining_hits,
+            "lock_wait_cycles": c.lock_wait_cycles,
+            "lock_hold_cycles": c.lock_hold_cycles,
+            "sync_messages": c.sync_messages,
+        }
+
+    # The crossover view: how close the best software-machine policy
+    # brings AS/HS to AH's default at the largest machine.
+    summary: Dict[str, Dict] = {}
+    for workload, machines in data.items():
+        ah = machines.get("ah", {}).get("token+central")
+        for mname in ("as", "hs"):
+            cells = machines.get(mname)
+            if not cells or "token+central" not in cells:
+                continue
+            default_sp = cells["token+central"]["speedups"][str(top)]
+            best_label, best = max(
+                cells.items(),
+                key=lambda kv: kv[1]["speedups"][str(top)])
+            best_sp = best["speedups"][str(top)]
+            summary[f"{workload}/{mname}"] = {
+                "default": default_sp,
+                "best": best_sp,
+                "best_policy": best_label,
+                "gain": best_sp / default_sp if default_sp else 0.0,
+                "ah_default": (ah["speedups"][str(top)] if ah else None),
+            }
+
+    report = Report("sync-sweep",
+                    f"Lock x barrier design space at up to {top} "
+                    f"processors")
+    report.lines = fmt.format_table(
+        ["machine", "program", "policy", f"speedup@{top}",
+         "combining hits"], rows)
+    report.lines.append("")
+    for key, s in summary.items():
+        report.lines.append(
+            f"{key}: default {s['default']:.2f} -> best "
+            f"{s['best']:.2f} ({s['best_policy']}, "
+            f"{100 * (s['gain'] - 1):+.1f}%)")
+    report.data = {"cells": data, "summary": summary, "top_procs": top}
+    return report
+
+
 def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
     """Run one experiment by id at the given scale."""
     return get_experiment(exp_id).run(scale)
@@ -725,5 +859,6 @@ def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
 
 def list_experiments() -> List[Experiment]:
     order = (["t1", "t2"] + [f"fig{i}" for i in range(1, 17)] +
-             ["x1", "x2", "x3", "x4", "a1", "a2", "a3", "fault-sweep"])
+             ["x1", "x2", "x3", "x4", "a1", "a2", "a3", "fault-sweep",
+              "sync-sweep"])
     return [REGISTRY[k] for k in order if k in REGISTRY]

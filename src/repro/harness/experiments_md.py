@@ -102,6 +102,20 @@ PAPER_CLAIMS: Dict[str, str] = {
                    "reliable-delivery layer and measures the speedup "
                    "decay: monotone per program, steepest for the "
                    "message-rate-bound programs.",
+    "sync-sweep": "(Repo design-space experiment — extends §3's "
+                  "comparison.)  The paper attributes the software "
+                  "machines' synchronization gap to message handling "
+                  "on the critical path (§3.3.4); this sweep makes "
+                  "the synchronization algorithm a free variable "
+                  "(token/mcs/ticket/combining locks x central/tree/"
+                  "combining barriers) and measures how far the best "
+                  "policy moves AS and HS toward AH's default.  "
+                  "Expected: distributing the barrier (tree, or "
+                  "combining in the switch) lifts the barrier-bound "
+                  "programs on AS; lock choice barely matters on a "
+                  "DSM, where lock transfer cost is dominated by the "
+                  "consistency data it drags along; AH is flat — "
+                  "hardware synchronization was never the bottleneck.",
 }
 
 
@@ -136,6 +150,8 @@ RUN_GRIDS: Dict[str, Tuple[str, str]] = {
     "a3": ("HS (1-16 procs/node)", "sor_small, mwater"),
     "fault-sweep": ("TreadMarks x loss rates (0-5%)",
                     "sor_small, tsp19, mwater"),
+    "sync-sweep": ("AS, AH, HS x 4 locks x 3 barriers",
+                   "tsp18, mwater"),
 }
 
 

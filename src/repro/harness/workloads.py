@@ -17,6 +17,8 @@ from repro.errors import ConfigurationError
 
 
 class Scale(Enum):
+    """Problem-size tier: quick tests, CI benches, or paper scale."""
+
     TEST = "test"
     BENCH = "bench"
     PAPER = "paper"
@@ -104,11 +106,13 @@ def mwater(scale: Scale) -> Application:
 
 
 def ilink_clp(scale: Scale) -> Application:
+    """Synthetic ILINK on the well-behaved CLP-like preset."""
     iters = {Scale.TEST: 2, Scale.BENCH: 6, Scale.PAPER: 8}[scale]
     return IlinkApp("clp", iterations=iters)
 
 
 def ilink_bad(scale: Scale) -> Application:
+    """Synthetic ILINK on the fine-grained, imbalanced BAD preset."""
     iters = {Scale.TEST: 3, Scale.BENCH: 12, Scale.PAPER: 24}[scale]
     return IlinkApp("bad", iterations=iters)
 
@@ -128,6 +132,7 @@ WORKLOADS: Dict[str, AppFactory] = {
 
 
 def make_app(name: str, scale: Scale) -> Application:
+    """Instantiate the named workload at the requested scale."""
     try:
         factory = WORKLOADS[name]
     except KeyError:

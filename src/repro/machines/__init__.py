@@ -56,6 +56,7 @@ def machine_names() -> Tuple[str, ...]:
 def make_machine(name: str, nprocs: Optional[int] = None, *,
                  params: Union[None, Any, Dict[str, Any]] = None,
                  faults: Optional[Any] = None,
+                 sync: Optional[Any] = None,
                  **kwargs: Any) -> Machine:
     """Build a machine by name — the stable construction entry point.
 
@@ -68,8 +69,12 @@ def make_machine(name: str, nprocs: Optional[int] = None, *,
     factory rejects a count the machine cannot run rather than
     letting :meth:`Machine.run` fail later.  ``faults`` takes a
     :class:`~repro.net.faults.FaultPlan` (software DSM machines
-    only); remaining keyword arguments go to the constructor
-    (``kernel_level=True``, ``eager_locks=...``).
+    only); ``sync`` takes any :data:`~repro.sync.policy.SyncSpec` —
+    a :class:`~repro.sync.SyncPolicy`, a spec string like
+    ``"mcs+tree"``, or a mapping — selecting the lock/barrier
+    algorithms (every machine accepts every policy); remaining
+    keyword arguments go to the constructor (``kernel_level=True``,
+    ``eager_locks=...``).
 
     The factory adds no state of its own: machines it returns are
     indistinguishable — fingerprints, cache keys, ledger records —
@@ -96,6 +101,9 @@ def make_machine(name: str, nprocs: Optional[int] = None, *,
             f"got {type(params).__name__}")
     if faults is not None:
         kwargs["faults"] = faults
+    if sync is not None:
+        from repro.sync import parse_sync
+        kwargs["sync"] = parse_sync(sync)
     machine = machine_cls(params, **kwargs)
     if nprocs is not None and nprocs > machine.max_procs():
         raise ConfigurationError(

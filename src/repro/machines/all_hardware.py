@@ -13,16 +13,18 @@ from typing import Optional
 from repro.dsm.bound import BoundMode
 from repro.errors import ConfigurationError
 from repro.hw.directory import DirectorySystem
-from repro.hw.sync import HwBarrier, HwLockTable
+from repro.hw.sync import HwBarrier, HwLockTable, make_hw_barrier, \
+    make_hw_locks
 from repro.machines.base import Machine, Runtime
 from repro.machines.params import AhParams
 from repro.mem.directcache import DirectMappedCache
 from repro.mem.layout import AddressSpace, Geometry
-from repro.net.crossbar import CrossbarNetwork
+from repro.net.crossbar import CombiningStage, CrossbarNetwork
 from repro.sim.engine import Engine
 from repro.sim.resource import Resource
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
+from repro.sync import SyncSpec, parse_sync
 from repro.trace.tracer import Category
 
 
@@ -40,6 +42,7 @@ class DirectoryRuntime(Runtime):
         self.barrier = barrier
 
     def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
+        """Read through the cache; misses go to the directory."""
         first, last = self.space.geometry.line_span(addr, nbytes)
         now = self.engine.now
         end = self.directory.read(task.proc_id, first, last, now)
@@ -51,6 +54,7 @@ class DirectoryRuntime(Runtime):
 
     def do_write(self, task: ProcTask, addr: int, nbytes: int,
                  changed_bytes: int) -> None:
+        """Write through the cache; the directory invalidates sharers."""
         first, last = self.space.geometry.line_span(addr, nbytes)
         now = self.engine.now
         end = self.directory.write(task.proc_id, first, last, now)
@@ -61,16 +65,20 @@ class DirectoryRuntime(Runtime):
         task.resume(end)
 
     def do_acquire(self, task: ProcTask, lock: int) -> None:
+        """Acquire through the hardware lock table at the sync home."""
         self.counters.lock_acquires += 1
         self.locks.acquire(lock, task.proc_id, task.resume)
 
     def do_release(self, task: ProcTask, lock: int) -> None:
+        """Release at the lock table; the waiter queue hands off."""
         self.locks.release(lock, task.proc_id, task.resume)
 
     def do_barrier(self, task: ProcTask, barrier_id: int) -> None:
+        """Arrive at the hardware barrier counter."""
         self.barrier.arrive(barrier_id, task.proc_id, task.resume)
 
     def finish_run(self) -> None:
+        """Fold barrier counts into counters; close the checker."""
         self.counters.barriers = self.barrier.completed
         if self.directory.checker is not None:
             self.directory.checker.finish()
@@ -80,7 +88,7 @@ class AllHardwareMachine(Machine):
     """AH: uniprocessor nodes + crossbar + directory coherence."""
 
     def __init__(self, params: Optional[AhParams] = None, *,
-                 faults=None) -> None:
+                 faults=None, sync: SyncSpec = None) -> None:
         super().__init__()
         if faults is not None and faults.enabled:
             raise ConfigurationError(
@@ -89,20 +97,27 @@ class AllHardwareMachine(Machine):
                 f"({faults.label()}) applies only to the software DSM "
                 "machines (treadmarks, as, hs)")
         self.params = params or AhParams()
+        self.sync = parse_sync(sync)
         self.name = "ah"
+        if not self.sync.is_default:
+            self.name = f"ah-{self.sync.label()}"
 
     @property
     def clock_hz(self) -> float:
+        """Simulated node clock (AhParams)."""
         return self.params.clock_hz
 
     def geometry(self) -> Geometry:
+        """AH pages exist only for address layout; lines do the work."""
         return Geometry(self.params.page_bytes, self.params.cpu.line_bytes)
 
     def max_procs(self) -> int:
-        return 64  # directory sharer bitmask width
+        """Directory sharer bitmask width."""
+        return 64
 
     def build_runtime(self, engine: Engine, space: AddressSpace,
                       counters: Counters, nprocs: int) -> DirectoryRuntime:
+        """Assemble caches, crossbar, directory, and hardware sync."""
         p = self.params
         caches = [DirectMappedCache(p.cpu.cache_bytes, p.cpu.line_bytes,
                                     name=f"c{i}") for i in range(nprocs)]
@@ -124,18 +139,30 @@ class AllHardwareMachine(Machine):
             remote_dirty_cycles=p.remote_dirty_cycles,
         )
         sync_home = Resource("ah.sync_home")
-        locks = HwLockTable(
-            engine,
+        stage = None
+        if "combining" in (self.sync.lock, self.sync.barrier):
+            # The crossbar's combining stage in front of the sync home
+            # port: bursts within one home-service window merge, a
+            # merged op costs one crossbar transit.
+            stage = CombiningStage(
+                counters, resource=sync_home,
+                window_cycles=p.barrier_arrive_cycles,
+                combine_cycles=max(1, p.crossbar_latency_cycles))
+        locks = make_hw_locks(
+            self.sync.lock, engine,
             acquire_cycles=p.lock_acquire_cycles,
             release_cycles=p.lock_release_cycles,
             handoff_cycles=p.lock_handoff_cycles,
             serializer=sync_home,
+            stage=stage,
         )
-        barrier = HwBarrier(
-            engine, nprocs,
+        barrier = make_hw_barrier(
+            self.sync.barrier, engine, nprocs,
             arrive_cycles=p.barrier_arrive_cycles,
             depart_cycles=p.barrier_depart_cycles,
             serializer=sync_home,
+            stage=stage,
+            tree_radix=self.sync.tree_radix,
         )
         return DirectoryRuntime(engine, space, counters, nprocs,
                                 directory=directory, locks=locks,

@@ -22,7 +22,8 @@ class AllSoftwareMachine(PagedDsmMachine):
     def __init__(self, params: Optional[AsParams] = None, *,
                  overhead_preset: Optional[OverheadPreset] = None,
                  eager_locks=None,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 sync=None) -> None:
         params = params or AsParams()
         if overhead_preset is not None:
             params = params.with_overhead(overhead_preset)
@@ -46,4 +47,5 @@ class AllSoftwareMachine(PagedDsmMachine):
             overhead=params.overhead(),
             eager_locks=eager_locks,
             faults=faults,
+            sync=sync,
         )

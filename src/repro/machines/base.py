@@ -50,6 +50,7 @@ class Runtime(OpHandler):
 
     # ------------------------------------------------------------------
     def handle(self, task: ProcTask, op: Any) -> None:
+        """Dispatch one application op to the machine-specific hook."""
         if type(op) is ops.OpBlock:
             # ProcTask unrolls chunks member-by-member before dispatch
             # (see repro.sim.task); a block reaching the runtime means
@@ -89,19 +90,24 @@ class Runtime(OpHandler):
 
     # -- abstract memory/sync hooks -------------------------------------
     def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
+        """Serve a shared read; resume ``task`` when the data is local."""
         raise NotImplementedError
 
     def do_write(self, task: ProcTask, addr: int, nbytes: int,
                  changed_bytes: int) -> None:
+        """Apply a shared write (``changed_bytes`` of it actually new)."""
         raise NotImplementedError
 
     def do_acquire(self, task: ProcTask, lock: int) -> None:
+        """Acquire ``lock``; resume ``task`` once granted."""
         raise NotImplementedError
 
     def do_release(self, task: ProcTask, lock: int) -> None:
+        """Release ``lock`` (consistency actions ride along here)."""
         raise NotImplementedError
 
     def do_barrier(self, task: ProcTask, barrier_id: int) -> None:
+        """Enter a global barrier; resume ``task`` at departure."""
         raise NotImplementedError
 
     # -- shared helpers ---------------------------------------------------
@@ -156,6 +162,7 @@ class Machine:
 
     # -- transport --------------------------------------------------------
     def __getstate__(self) -> Dict[str, Any]:
+        """Pickle the machine *description* only."""
         # ``last_runtime`` holds a whole simulation (engine, generator
         # tasks) — unpicklable and irrelevant to a machine *description*.
         # Dropping it keeps machines transportable to worker processes.
@@ -192,6 +199,11 @@ class Machine:
             # behaviourally identical to no plan, and must share cache
             # entries with clean runs (zero-overhead-when-disabled).
             data["faults"] = fingerprint_value(faults)
+        sync = getattr(self, "sync", None)
+        if sync is not None and not sync.is_default:
+            # The default policy is the paper's protocol; like fault
+            # plans, only a non-default policy forks the cache key.
+            data["sync"] = fingerprint_value(sync)
         check_cfg = active_check_config()
         if check_cfg is not None:
             # Checked runs are timing-identical to clean ones, but a
@@ -209,16 +221,20 @@ class Machine:
     # -- abstract configuration -----------------------------------------
     @property
     def clock_hz(self) -> float:
+        """Processor clock rate (cycles <-> seconds conversions)."""
         raise NotImplementedError
 
     def geometry(self) -> Geometry:
+        """Page/line geometry the address space is laid out with."""
         raise NotImplementedError
 
     def max_procs(self) -> int:
+        """Largest processor count this machine is defined for."""
         return 1024
 
     def build_runtime(self, engine: Engine, space: AddressSpace,
                       counters: Counters, nprocs: int) -> Runtime:
+        """Construct the full simulated system for one run."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------

@@ -23,7 +23,8 @@ class DecTreadMarksMachine(PagedDsmMachine):
                  eager_locks=None,
                  use_diffs: bool = True,
                  max_procs: int = 8,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 sync=None) -> None:
         params = params or DecAtmParams()
         if kernel_level:
             params = params.kernel_level()
@@ -44,4 +45,5 @@ class DecTreadMarksMachine(PagedDsmMachine):
             use_diffs=use_diffs,
             max_procs=max_procs,
             faults=faults,
+            sync=sync,
         )

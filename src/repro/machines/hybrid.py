@@ -32,6 +32,7 @@ from repro.net.reliable import ReliableNetwork
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
+from repro.sync import SyncSpec, parse_sync
 from repro.trace.tracer import Category
 
 
@@ -75,6 +76,7 @@ class HybridRuntime(Runtime):
         self._node_barrier: Dict[Tuple[int, int], List[ProcTask]] = {}
 
     def finish_run(self) -> None:
+        """Close the DSM and per-node snoop checkers."""
         if self.dsm.checker is not None:
             self.dsm.checker.finish()
         for snoop in self.node_snoops:
@@ -83,6 +85,7 @@ class HybridRuntime(Runtime):
 
     # ------------------------------------------------------------------
     def node_of(self, proc: int) -> int:
+        """The SMP node housing processor ``proc``."""
         return proc // self.ppn
 
     def _local_index(self, proc: int) -> int:
@@ -97,6 +100,7 @@ class HybridRuntime(Runtime):
 
     # ------------------------------------------------------------------
     def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
+        """DSM fetches the page to the node, then the bus snoops."""
         proc = task.proc_id
         node = self.node_of(proc)
         first, last = self.space.geometry.line_span(addr, nbytes)
@@ -110,6 +114,7 @@ class HybridRuntime(Runtime):
 
     def do_write(self, task: ProcTask, addr: int, nbytes: int,
                  changed_bytes: int) -> None:
+        """DSM twins the page per node, then the bus orders the write."""
         proc = task.proc_id
         node = self.node_of(proc)
         first, last = self.space.geometry.line_span(addr, nbytes)
@@ -123,6 +128,7 @@ class HybridRuntime(Runtime):
 
     # ------------------------------------------------------------------
     def do_acquire(self, task: ProcTask, lock: int) -> None:
+        """Node-granularity DSM lock; co-resident handoff is free."""
         proc = task.proc_id
         node = self.node_of(proc)
 
@@ -133,6 +139,7 @@ class HybridRuntime(Runtime):
         self.dsm.acquire(lock, node, proc, granted)
 
     def do_release(self, task: ProcTask, lock: int) -> None:
+        """Release through the DSM (per-node diffs ride along)."""
         proc = task.proc_id
         self.dsm.release(lock, self.node_of(proc), proc, task.resume)
 
@@ -171,25 +178,46 @@ class HybridMachine(Machine):
 
     def __init__(self, params: Optional[HsParams] = None, *,
                  eager_locks=None,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 sync: SyncSpec = None) -> None:
         super().__init__()
         self.params = params or HsParams()
         self.eager_locks = eager_locks
         self.faults = faults
+        self.sync = parse_sync(sync)
         self.name = f"hs{self.params.procs_per_node}"
+        if not self.sync.is_default:
+            self.name = f"{self.name}-{self.sync.label()}"
         if faults is not None and faults.enabled:
             self.name = f"{self.name}-{faults.label()}"
             self.watchdog_cycles = faults.watchdog_cycles
 
     @property
     def clock_hz(self) -> float:
+        """Simulated node clock (HsParams)."""
         return self.params.clock_hz
 
+    def fingerprint_data(self, nprocs=None):
+        """Machine identity, with the 1-proc baseline policy-blind."""
+        data = super().fingerprint_data(nprocs)
+        if nprocs == 1:
+            # One processor is one node: the DSM engages no remote
+            # machinery, so every sync policy is behaviourally
+            # identical and the 1-proc baseline is shared.  The name
+            # carries the policy suffix, so normalize it too.
+            data.pop("sync", None)
+            if not self.sync.is_default:
+                data["name"] = data["name"].replace(
+                    f"-{self.sync.label()}", "")
+        return data
+
     def geometry(self) -> Geometry:
+        """DSM pages between nodes, bus lines within them."""
         return Geometry(self.params.page_bytes, self.params.cpu.line_bytes)
 
     def build_runtime(self, engine: Engine, space: AddressSpace,
                       counters: Counters, nprocs: int) -> HybridRuntime:
+        """Assemble per-node buses plus the node-granularity DSM."""
         p = self.params
         num_nodes = (nprocs + p.procs_per_node - 1) // p.procs_per_node
         if num_nodes < 1:
@@ -211,6 +239,7 @@ class HybridMachine(Machine):
             page_bytes=p.page_bytes,
             eager_locks=self.eager_locks,
             local_grant_cycles=p.lock_handoff_cycles,
+            sync=self.sync,
         ))
         return HybridRuntime(engine, space, counters, nprocs,
                              params=p, net=net, dsm=dsm,

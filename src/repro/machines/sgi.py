@@ -13,15 +13,18 @@ from typing import Optional
 from repro.dsm.bound import BoundMode
 from repro.errors import ConfigurationError
 from repro.hw.snoop import SnoopingSystem
-from repro.hw.sync import HwBarrier, HwLockTable
+from repro.hw.sync import HwBarrier, HwLockTable, make_hw_barrier, \
+    make_hw_locks
 from repro.machines.base import Machine, Runtime
 from repro.machines.params import SgiParams
 from repro.mem.directcache import DirectMappedCache
 from repro.mem.layout import AddressSpace, Geometry
 from repro.net.bus import BusModel
+from repro.net.crossbar import CombiningStage
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
+from repro.sync import SyncSpec, parse_sync
 
 
 class SnoopRuntime(Runtime):
@@ -38,12 +41,14 @@ class SnoopRuntime(Runtime):
         self.barrier = barrier
 
     def do_read(self, task: ProcTask, addr: int, nbytes: int) -> None:
+        """Read through the L2; misses snoop the shared bus."""
         first, last = self.space.geometry.line_span(addr, nbytes)
         end = self.snoop.read(task.proc_id, first, last, self.engine.now)
         task.resume(end)
 
     def do_write(self, task: ProcTask, addr: int, nbytes: int,
                  changed_bytes: int) -> None:
+        """Write through the L2; the bus invalidates other copies."""
         # Hardware moves whole lines regardless of how many bytes
         # actually changed — the §2.4.2 SOR asymmetry.
         first, last = self.space.geometry.line_span(addr, nbytes)
@@ -51,16 +56,20 @@ class SnoopRuntime(Runtime):
         task.resume(end)
 
     def do_acquire(self, task: ProcTask, lock: int) -> None:
+        """Acquire via the bus-serialized hardware lock table."""
         self.counters.lock_acquires += 1
         self.locks.acquire(lock, task.proc_id, task.resume)
 
     def do_release(self, task: ProcTask, lock: int) -> None:
+        """Release at the lock table; waiters hand off in order."""
         self.locks.release(lock, task.proc_id, task.resume)
 
     def do_barrier(self, task: ProcTask, barrier_id: int) -> None:
+        """Arrive at the bus-based barrier counter."""
         self.barrier.arrive(barrier_id, task.proc_id, task.resume)
 
     def finish_run(self) -> None:
+        """Fold barrier counts into counters; close the checker."""
         self.counters.barriers = self.barrier.completed
         if self.snoop.checker is not None:
             self.snoop.checker.finish()
@@ -70,7 +79,7 @@ class SgiMachine(Machine):
     """The SGI 4D/480."""
 
     def __init__(self, params: Optional[SgiParams] = None, *,
-                 faults=None) -> None:
+                 faults=None, sync: SyncSpec = None) -> None:
         super().__init__()
         if faults is not None and faults.enabled:
             raise ConfigurationError(
@@ -79,20 +88,27 @@ class SgiMachine(Machine):
                 f"({faults.label()}) applies only to the software DSM "
                 "machines (treadmarks, as, hs)")
         self.params = params or SgiParams()
+        self.sync = parse_sync(sync)
         self.name = "sgi"
+        if not self.sync.is_default:
+            self.name = f"sgi-{self.sync.label()}"
 
     @property
     def clock_hz(self) -> float:
+        """MIPS R3000 clock (SgiParams)."""
         return self.params.clock_hz
 
     def geometry(self) -> Geometry:
+        """Pages exist only for address layout; the bus moves lines."""
         return Geometry(self.params.page_bytes, self.params.line_bytes)
 
     def max_procs(self) -> int:
+        """The 4D/480 tops out at 8 processors."""
         return self.params.max_procs
 
     def build_runtime(self, engine: Engine, space: AddressSpace,
                       counters: Counters, nprocs: int) -> SnoopRuntime:
+        """Assemble L2 caches, the shared bus, and snooping coherence."""
         p = self.params
         caches = [DirectMappedCache(p.l2_bytes, p.line_bytes, name=f"l2.{i}")
                   for i in range(nprocs)]
@@ -103,18 +119,29 @@ class SgiMachine(Machine):
             hit_cycles=p.l2_hit_cycles,
             memory_extra_cycles=p.memory_extra_cycles,
         )
-        locks = HwLockTable(
-            engine,
+        stage = None
+        if "combining" in (self.sync.lock, self.sync.barrier):
+            # Sequent-style fetch-and-add at the memory controller:
+            # ops arriving within one bus-transaction window merge.
+            stage = CombiningStage(
+                counters, resource=bus.resource,
+                window_cycles=p.barrier_arrive_cycles,
+                combine_cycles=max(1, p.lock_release_cycles))
+        locks = make_hw_locks(
+            self.sync.lock, engine,
             acquire_cycles=p.lock_acquire_cycles,
             release_cycles=p.lock_release_cycles,
             handoff_cycles=p.lock_handoff_cycles,
             serializer=bus.resource,
+            stage=stage,
         )
-        barrier = HwBarrier(
-            engine, nprocs,
+        barrier = make_hw_barrier(
+            self.sync.barrier, engine, nprocs,
             arrive_cycles=p.barrier_arrive_cycles,
             depart_cycles=p.barrier_depart_cycles,
             serializer=bus.resource,
+            stage=stage,
+            tree_radix=self.sync.tree_radix,
         )
         return SnoopRuntime(engine, space, counters, nprocs,
                             snoop=snoop, locks=locks, barrier=barrier)

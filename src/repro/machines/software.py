@@ -24,6 +24,7 @@ from repro.net.reliable import ReliableNetwork
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
+from repro.sync import SyncSpec, parse_sync
 from repro.trace.tracer import Category
 
 
@@ -125,9 +126,13 @@ class PagedDsmMachine(Machine):
                  eager_locks=None,
                  use_diffs: bool = True,
                  max_procs: Optional[int] = None,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 sync: SyncSpec = None) -> None:
         super().__init__()
+        self.sync = parse_sync(sync)
         self.name = name if use_diffs else f"{name}-nodiff"
+        if not self.sync.is_default:
+            self.name = f"{self.name}-{self.sync.label()}"
         self._clock_hz = clock_hz
         self.page_bytes = page_bytes
         self.cache = cache
@@ -187,6 +192,10 @@ class PagedDsmMachine(Machine):
             "eager_locks": fingerprint_value(self.eager_locks),
             "use_diffs": self.use_diffs,
         })
+        if not self.sync.is_default:
+            # The default policy is the paper's protocol; non-default
+            # policies change message flows and must fork the key.
+            data["sync"] = fingerprint_value(self.sync)
         if self.faults is not None and self.faults.enabled:
             # Disabled plans are behaviourally inert and share keys
             # with clean runs; enabled plans never may.
@@ -217,6 +226,7 @@ class PagedDsmMachine(Machine):
             page_bytes=self.page_bytes,
             eager_locks=self.eager_locks,
             use_diffs=self.use_diffs,
+            sync=self.sync,
         ))
         if self.eager_locks:
             bound_mode = BoundMode.EAGER

@@ -65,6 +65,8 @@ class AtmNetwork:
     def send(self, src: int, dst: int, payload_bytes: int, *,
              kind: MsgKind, data_kind: DataKind = DataKind.CONSISTENCY,
              now: Optional[int] = None,
+             send_cpu_cycles: Optional[int] = None,
+             recv_cpu_cycles: Optional[int] = None,
              on_delivered: Optional[Callable[[int], None]] = None) -> int:
         """Send one message; returns the delivery completion time.
 
@@ -72,13 +74,20 @@ class AtmNetwork:
         the moment the receiver's handler has finished processing the
         message.  Sending to self is free of network cost but still
         passes through the local handler (loopback sanity path).
+
+        ``send_cpu_cycles`` / ``recv_cpu_cycles`` override the
+        software-overhead CPU charges for this one message; the
+        combining switch (:class:`~repro.sync.combining.SwitchCombiner`)
+        uses them to model fetch-and-op merges and multicast
+        replication happening in the fabric instead of on a node CPU.
         """
         if now is None:
             now = self.engine.now
         self.counters.count_message(kind, payload_bytes, data_kind,
                                     self.header_bytes)
 
-        send_cpu = self.overhead.send_cost(payload_bytes)
+        send_cpu = (self.overhead.send_cost(payload_bytes)
+                    if send_cpu_cycles is None else send_cpu_cycles)
         sstart, sent = self.handlers[src].acquire(now, send_cpu)
 
         if src == dst:
@@ -91,7 +100,8 @@ class AtmNetwork:
             at_switch = out_done + self.switch_latency
             _istart, arrival = self.in_links[dst].acquire(at_switch, wire)
 
-        recv_cpu = self.overhead.recv_cost(payload_bytes)
+        recv_cpu = (self.overhead.recv_cost(payload_bytes)
+                    if recv_cpu_cycles is None else recv_cpu_cycles)
         rstart, delivered = self.handlers[dst].acquire(arrival, recv_cpu)
 
         tracer = self.engine.tracer

@@ -9,6 +9,8 @@ directory controller initiates transfers in hardware.
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple
+
 from repro import units
 from repro.sim.engine import Engine
 from repro.sim.resource import Resource
@@ -55,3 +57,46 @@ class CrossbarNetwork:
                             _ostart, arrival, track=f"xbar.out{src}",
                             dst=dst, bytes=nbytes)
         return arrival
+
+
+class CombiningStage:
+    """Fetch-and-op combining in front of a serializing resource.
+
+    The hardware mirror of the software
+    :class:`~repro.sync.combining.SwitchCombiner`: atomic operations
+    bound for the same location (``key``) whose issue times fall
+    inside one combining window merge in the interconnect.  The
+    window opener pays the full serialized transaction at the home
+    port; followers are answered by the combining stage itself in
+    ``combine_cycles``, never touching the shared resource.  On the
+    AH machine the resource is the sync home-node port; on the SGI
+    model it is the snooping bus (a Sequent-style fetch-and-add at
+    the memory controller).
+
+    Windows are keyed by simulated time only — fully deterministic.
+    """
+
+    def __init__(self, counters: Counters, *,
+                 resource: Optional[Resource],
+                 window_cycles: int,
+                 combine_cycles: int) -> None:
+        if window_cycles < 0 or combine_cycles < 0:
+            raise ValueError("combining windows/cycles must be >= 0")
+        self.counters = counters
+        self.resource = resource
+        self.window_cycles = window_cycles
+        self.combine_cycles = combine_cycles
+        self._windows: Dict[Tuple[object, ...], int] = {}
+
+    def fetch_op(self, key: Tuple[object, ...], now: int,
+                 cycles: int) -> int:
+        """Issue one atomic op toward ``key``; returns completion time."""
+        end = self._windows.get(key)
+        if end is not None and now <= end:
+            self.counters.combining_hits += 1
+            return now + self.combine_cycles
+        self._windows[key] = now + self.window_cycles
+        if self.resource is None:
+            return now + cycles
+        _start, done = self.resource.acquire(now, cycles)
+        return done

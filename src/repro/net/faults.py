@@ -75,6 +75,7 @@ class FaultRule:
                 f"fault rule nth is 1-based, got {self.nth}")
 
     def matches(self, src: int, dst: int, kind: MsgKind) -> bool:
+        """Does this rule apply to a message? (None fields = wildcard)"""
         return ((self.kind is None or self.kind == kind.value) and
                 (self.src is None or self.src == src) and
                 (self.dst is None or self.dst == dst))

@@ -96,6 +96,7 @@ class OverheadPreset(Enum):
     SHRIMP_BCOPY = "shrimp_bcopy"   # near-zero fixed + 1-cycle/word copy
 
     def build(self) -> SoftwareOverhead:
+        """The cycle-cost table this preset names."""
         return _PRESETS[self]
 
 

@@ -47,12 +47,14 @@ class _Transmission:
 
     __slots__ = ("src", "dst", "payload", "kind", "data_kind", "seq",
                  "on_delivered", "base_rto", "attempt", "delivered",
-                 "last_sent")
+                 "last_sent", "send_cpu_cycles", "recv_cpu_cycles")
 
     def __init__(self, src: int, dst: int, payload: int, kind: MsgKind,
                  data_kind: DataKind, seq: int,
                  on_delivered: Optional[Callable[[int], None]],
-                 base_rto: int) -> None:
+                 base_rto: int,
+                 send_cpu_cycles: Optional[int] = None,
+                 recv_cpu_cycles: Optional[int] = None) -> None:
         self.src = src
         self.dst = dst
         self.payload = payload
@@ -64,6 +66,8 @@ class _Transmission:
         self.attempt = 0
         self.delivered = False
         self.last_sent = 0
+        self.send_cpu_cycles = send_cpu_cycles
+        self.recv_cpu_cycles = recv_cpu_cycles
 
 
 class ReliableNetwork:
@@ -83,6 +87,8 @@ class ReliableNetwork:
         self.counters = inner.counters
         self.num_nodes = inner.num_nodes
         self.handlers = inner.handlers
+        self.overhead = inner.overhead
+        self.switch_latency = inner.switch_latency
         self._next_seq: Dict[Tuple[int, int], int] = {}
 
     # -- delegated cost model ------------------------------------------
@@ -96,6 +102,8 @@ class ReliableNetwork:
     def send(self, src: int, dst: int, payload_bytes: int, *,
              kind: MsgKind, data_kind: DataKind = DataKind.CONSISTENCY,
              now: Optional[int] = None,
+             send_cpu_cycles: Optional[int] = None,
+             recv_cpu_cycles: Optional[int] = None,
              on_delivered: Optional[Callable[[int], None]] = None) -> int:
         """Send one logical message; delivers ``on_delivered`` exactly
         once (or raises :class:`NetworkPartitionError` via the engine).
@@ -106,6 +114,8 @@ class ReliableNetwork:
             # Loopback never crosses the wire: nothing to lose.
             return self.inner.send(src, dst, payload_bytes, kind=kind,
                                    data_kind=data_kind, now=now,
+                                   send_cpu_cycles=send_cpu_cycles,
+                                   recv_cpu_cycles=recv_cpu_cycles,
                                    on_delivered=on_delivered)
         edge = (src, dst)
         seq = self._next_seq.get(edge, 0)
@@ -113,7 +123,9 @@ class ReliableNetwork:
         base_rto = max(1, int(self.plan.rto_multiplier *
                               self.inner.roundtrip_estimate(payload_bytes)))
         tx = _Transmission(src, dst, payload_bytes, kind, data_kind,
-                           seq, on_delivered, base_rto)
+                           seq, on_delivered, base_rto,
+                           send_cpu_cycles=send_cpu_cycles,
+                           recv_cpu_cycles=recv_cpu_cycles)
         return self._attempt(tx, now)
 
     # ------------------------------------------------------------------
@@ -159,6 +171,8 @@ class ReliableNetwork:
             delivered = self.inner.send(
                 tx.src, tx.dst, tx.payload, kind=tx.kind,
                 data_kind=tx.data_kind, now=start,
+                send_cpu_cycles=tx.send_cpu_cycles,
+                recv_cpu_cycles=tx.recv_cpu_cycles,
                 on_delivered=lambda t, tx=tx: self._arrived(tx, t))
         return delivered
 

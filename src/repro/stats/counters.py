@@ -21,6 +21,7 @@ class MsgKind(Enum):
     LOCK_REQUEST = "lock_request"
     LOCK_FORWARD = "lock_forward"
     LOCK_GRANT = "lock_grant"
+    LOCK_RELEASE = "lock_release"
     BARRIER_ARRIVE = "barrier_arrive"
     BARRIER_DEPART = "barrier_depart"
     DIFF_REQUEST = "diff_request"
@@ -31,10 +32,12 @@ class MsgKind(Enum):
 
     @property
     def is_sync(self) -> bool:
+        """Lock/barrier traffic, as opposed to data-miss traffic."""
         return self in _SYNC_KINDS
 
     @property
     def is_miss(self) -> bool:
+        """Data-miss traffic (everything that is not sync)."""
         return not self.is_sync
 
 
@@ -42,6 +45,7 @@ _SYNC_KINDS = {
     MsgKind.LOCK_REQUEST,
     MsgKind.LOCK_FORWARD,
     MsgKind.LOCK_GRANT,
+    MsgKind.LOCK_RELEASE,
     MsgKind.BARRIER_ARRIVE,
     MsgKind.BARRIER_DEPART,
     MsgKind.BOUND_UPDATE,
@@ -70,6 +74,16 @@ class Counters:
     barriers: int = 0
     lock_acquires: int = 0
     remote_lock_acquires: int = 0
+    #: Cycles from each acquire request to its grant, summed over all
+    #: acquisitions (queue/transit wait, including the local-grant
+    #: dispatch cost).
+    lock_wait_cycles: int = 0
+    #: Cycles each lock was held (grant to release), summed.
+    lock_hold_cycles: int = 0
+    #: Fetch-and-op merges performed by a combining fabric stage
+    #: (locks *and* barriers; only the ``combining`` sync algorithms
+    #: ever increment this).
+    combining_hits: int = 0
 
     # -- DSM protocol events ---------------------------------------------
     page_faults: int = 0
@@ -113,30 +127,37 @@ class Counters:
     # -- aggregates ------------------------------------------------------
     @property
     def total_messages(self) -> int:
+        """All messages sent, every kind."""
         return sum(self.messages.values())
 
     @property
     def sync_messages(self) -> int:
+        """Messages carrying lock/barrier traffic (Table 4 split)."""
         return sum(n for k, n in self.messages.items() if k.is_sync)
 
     @property
     def miss_messages(self) -> int:
+        """Messages carrying data-miss traffic (Table 4 split)."""
         return sum(n for k, n in self.messages.items() if k.is_miss)
 
     @property
     def total_bytes(self) -> int:
+        """All bytes moved: miss data, consistency info, headers."""
         return sum(self.data_bytes.values())
 
     @property
     def miss_data_bytes(self) -> int:
+        """Bytes of demanded data (pages, diffs on demand)."""
         return self.data_bytes[DataKind.MISS]
 
     @property
     def consistency_bytes(self) -> int:
+        """Bytes of protocol metadata (write notices, intervals)."""
         return self.data_bytes[DataKind.CONSISTENCY]
 
     @property
     def header_bytes(self) -> int:
+        """Bytes of per-message framing overhead."""
         return self.data_bytes[DataKind.HEADER]
 
     def to_jsonable(self) -> Dict[str, object]:

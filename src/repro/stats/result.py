@@ -60,6 +60,7 @@ class RunResult:
 
     @property
     def seconds(self) -> float:
+        """Simulated wall-clock time of the run."""
         return units.cycles_to_seconds(self.cycles, self.clock_hz)
 
     # -- Table 2 style rates ----------------------------------------------
@@ -69,21 +70,26 @@ class RunResult:
 
     @property
     def barriers_per_sec(self) -> float:
+        """Barrier episodes per simulated second (Table 2)."""
         return self.rate(self.counters.barriers)
 
     @property
     def remote_locks_per_sec(self) -> float:
+        """Remote lock acquires per simulated second (Table 2)."""
         return self.rate(self.counters.remote_lock_acquires)
 
     @property
     def messages_per_sec(self) -> float:
+        """Messages per simulated second (Table 2)."""
         return self.rate(self.counters.total_messages)
 
     @property
     def kbytes_per_sec(self) -> float:
+        """Kilobytes moved per simulated second (Table 2)."""
         return self.rate(self.counters.total_bytes) / 1024.0
 
     def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers, for reports and tests."""
         s = {
             "machine": self.machine,
             "app": self.app,
@@ -149,9 +155,11 @@ class SpeedupSeries:
     points: List[RunResult] = field(default_factory=list)
 
     def add(self, result: RunResult) -> None:
+        """Append one measured point to the series."""
         self.points.append(result)
 
     def speedup(self, result: RunResult) -> float:
+        """Speedup of one point over the 1-processor base time."""
         if result.seconds <= 0:
             return 0.0
         return self.base_seconds / result.seconds
@@ -161,6 +169,7 @@ class SpeedupSeries:
         return {r.nprocs: self.speedup(r) for r in self.points}
 
     def at(self, nprocs: int) -> Optional[RunResult]:
+        """The point measured at ``nprocs``, or None."""
         for r in self.points:
             if r.nprocs == nprocs:
                 return r

@@ -1,0 +1,28 @@
+"""repro.sync: the pluggable synchronization design space.
+
+This package owns the *policy* layer: :class:`SyncPolicy` names a
+(lock algorithm, barrier algorithm) pair, :func:`parse_sync` coerces
+user-facing specs (``"mcs+tree"``), and :class:`SwitchCombiner`
+models in-network combining for the software machines.  The
+algorithm *implementations* live with their families —
+:mod:`repro.dsm.locks` / :mod:`repro.dsm.barriers` for the software
+DSM, :mod:`repro.hw.sync` plus the
+:class:`~repro.net.crossbar.CombiningStage` for the hardware
+machines — and are selected per machine through
+``make_machine(sync=...)``.
+"""
+
+from repro.sync.combining import SwitchCombiner
+from repro.sync.policy import (BARRIER_ALGORITHMS, DEFAULT_SYNC,
+                               LOCK_ALGORITHMS, SyncPolicy, SyncSpec,
+                               parse_sync)
+
+__all__ = [
+    "SyncPolicy",
+    "SyncSpec",
+    "parse_sync",
+    "DEFAULT_SYNC",
+    "LOCK_ALGORITHMS",
+    "BARRIER_ALGORITHMS",
+    "SwitchCombiner",
+]

@@ -1,0 +1,147 @@
+"""The synchronization design space: one policy, many algorithms.
+
+The paper's machines ship with exactly one synchronization style each:
+token-forwarding locks + a centralized barrier manager on the software
+DSM side (§2.1), test-and-set locks + a counter barrier on the
+hardware side (§2.2, §3.1).  The paper's own headline result — sync
+rate decides where software loses to hardware — makes that axis worth
+varying, so :class:`SyncPolicy` names a (lock algorithm, barrier
+algorithm) pair that every machine model accepts via
+``make_machine(sync=...)``:
+
+==========  =====================================================
+lock        algorithm
+==========  =====================================================
+token       static manager + migrating token (TreadMarks default)
+mcs         MCS-style distributed queue (swap at home, direct
+            predecessor→successor handoff)
+ticket      centralized ticket counter at the lock's home
+combining   ticket order taken by a combining fetch-and-add in
+            the network fabric
+==========  =====================================================
+
+==========  =====================================================
+barrier     algorithm
+==========  =====================================================
+central     all arrivals serialize at one manager (paper default)
+tree        radix-``tree_radix`` software combining tree
+combining   in-network reduction: arrivals combine in the fabric,
+            departures fan out as a multicast
+==========  =====================================================
+
+The default policy reproduces the paper bit-for-bit: machines built
+with ``SyncPolicy()`` are fingerprint-identical to machines built
+with no policy at all, so golden pins and cached results are
+untouched.  Non-default policies suffix the machine name and join
+the fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Lock algorithm names, in design-space order.
+LOCK_ALGORITHMS: Tuple[str, ...] = ("token", "mcs", "ticket", "combining")
+
+#: Barrier algorithm names, in design-space order.
+BARRIER_ALGORITHMS: Tuple[str, ...] = ("central", "tree", "combining")
+
+
+@dataclass(frozen=True)
+class SyncPolicy:
+    """An immutable (lock algorithm, barrier algorithm) selection.
+
+    ``tree_radix`` shapes the ``tree`` barrier's fan-in (and the
+    fan-out of its departure wave); it is inert for the other barrier
+    algorithms and therefore excluded from labels and fingerprints
+    unless the tree barrier is selected.
+    """
+
+    lock: str = "token"
+    barrier: str = "central"
+    tree_radix: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lock not in LOCK_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown lock algorithm '{self.lock}' "
+                f"(known: {', '.join(LOCK_ALGORITHMS)})")
+        if self.barrier not in BARRIER_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown barrier algorithm '{self.barrier}' "
+                f"(known: {', '.join(BARRIER_ALGORITHMS)})")
+        if self.tree_radix < 2:
+            raise ConfigurationError(
+                f"tree_radix must be >= 2, got {self.tree_radix}")
+
+    @property
+    def is_default(self) -> bool:
+        """True when this policy is the paper's 1994 configuration."""
+        return self.lock == "token" and self.barrier == "central"
+
+    def label(self) -> str:
+        """Short stable label, e.g. ``mcs+tree`` (``parse_sync`` form)."""
+        text = f"{self.lock}+{self.barrier}"
+        if self.barrier == "tree" and self.tree_radix != 4:
+            text += f"@r{self.tree_radix}"
+        return text
+
+
+#: The paper's configuration; behaviourally identical to passing no
+#: policy at all.
+DEFAULT_SYNC = SyncPolicy()
+
+SyncSpec = Union[None, str, Mapping[str, Any], SyncPolicy]
+"""Anything :func:`parse_sync` accepts."""
+
+
+def parse_sync(spec: SyncSpec) -> SyncPolicy:
+    """Coerce a user-facing sync spec into a :class:`SyncPolicy`.
+
+    Accepts ``None`` (the default policy), an existing policy, a
+    mapping of field overrides (``{"barrier": "tree"}``), or a string
+    in the ``label()`` grammar: ``"mcs+tree"``, a bare lock name
+    (``"mcs"``), a bare barrier prefixed with ``+`` (``"+tree"``),
+    and an optional ``@r<k>`` radix suffix (``"token+tree@r8"``).
+    """
+    if spec is None:
+        return DEFAULT_SYNC
+    if isinstance(spec, SyncPolicy):
+        return spec
+    if isinstance(spec, Mapping):
+        try:
+            return SyncPolicy(**dict(spec))
+        except TypeError as exc:
+            raise ConfigurationError(f"bad sync spec {spec!r}: {exc}") \
+                from None
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"sync spec must be a string, mapping, or SyncPolicy, "
+            f"got {type(spec).__name__}")
+
+    text = spec.strip().lower()
+    radix: Optional[int] = None
+    if "@r" in text:
+        text, _, radix_text = text.partition("@r")
+        try:
+            radix = int(radix_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad tree radix in sync spec '{spec}'") from None
+    if "+" in text:
+        lock_text, _, barrier_text = text.partition("+")
+    else:
+        lock_text, barrier_text = text, ""
+    if not lock_text and not barrier_text:
+        raise ConfigurationError(f"empty sync spec '{spec}'")
+    kwargs: dict = {}
+    if lock_text:
+        kwargs["lock"] = lock_text
+    if barrier_text:
+        kwargs["barrier"] = barrier_text
+    if radix is not None:
+        kwargs["tree_radix"] = radix
+    return SyncPolicy(**kwargs)

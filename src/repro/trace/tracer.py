@@ -63,6 +63,7 @@ class Span:
 
     @property
     def duration(self) -> int:
+        """Span length in cycles."""
         return self.end - self.start
 
 
@@ -208,22 +209,24 @@ class NullTracer(Tracer):
         super().__init__(keep_spans=False, label="null")
 
     def begin_op(self, proc, category, name, at):  # pragma: no cover
-        pass
+        """Discard (tracing disabled)."""
 
     def end_op(self, proc, at):
-        pass
+        """Discard (tracing disabled)."""
 
     def span(self, proc, category, name, start, *, track=None):
+        """A reusable no-op span handle."""
         return _NULL_SPAN
 
     def complete(self, proc, category, name, start, end, *,
                  track=None, **args):
-        pass
+        """Discard (tracing disabled)."""
 
     def instant(self, proc, category, name, ts, *, track=None, **args):
-        pass
+        """Discard (tracing disabled)."""
 
     def finish(self, total_cycles, nprocs, clock_hz, **meta):
+        """Nothing to write; returns None."""
         return None
 
 

@@ -1,0 +1,169 @@
+"""The pluggable DSM lock algorithms (mcs, ticket, combining)."""
+
+import pytest
+
+from repro.dsm.locks import (DSM_LOCK_IMPLS, CombiningLocks, DistributedLocks,
+                             McsLocks, TicketLocks, make_dsm_locks)
+from repro.errors import ConfigurationError
+from repro.stats.counters import MsgKind
+from repro.sync import SwitchCombiner
+
+
+def make_locks(atm, algorithm="token", **kwargs):
+    defaults = dict(
+        grant_payload=lambda src, dst: 64,
+        on_granted=lambda dst, src: None,
+        request_payload_bytes=16,
+        local_grant_cycles=40,
+    )
+    if algorithm == "combining":
+        defaults["combiner"] = SwitchCombiner(
+            atm, window_cycles=2000, combine_cycles=10)
+    defaults.update(kwargs)
+    return make_dsm_locks(algorithm, atm, atm.num_nodes, **defaults)
+
+
+def test_factory_inventory(atm):
+    assert set(DSM_LOCK_IMPLS) == {"token", "mcs", "ticket", "combining"}
+    assert isinstance(make_locks(atm, "token"), DistributedLocks)
+    assert isinstance(make_locks(atm, "mcs"), McsLocks)
+    assert isinstance(make_locks(atm, "ticket"), TicketLocks)
+    assert isinstance(make_locks(atm, "combining"), CombiningLocks)
+    with pytest.raises(ConfigurationError):
+        make_locks(atm, "spinlock")
+
+
+def test_combining_locks_require_combiner(atm):
+    with pytest.raises(ConfigurationError):
+        make_locks(atm, "combining", combiner=None)
+
+
+@pytest.mark.parametrize("algorithm", sorted(DSM_LOCK_IMPLS))
+def test_fifo_handoff_under_contention(atm, engine, algorithm):
+    """Requesters are served in arrival order, whatever the queue's
+    physical home (token: at the holder; mcs: distributed; ticket and
+    combining: at the home node)."""
+    locks = make_locks(atm, algorithm)
+    order = []
+
+    def hold_then_release(node):
+        def granted(time, _remote):
+            order.append(node)
+            engine.schedule(1000, locks.release, 0, node, node,
+                            lambda t: None)
+        return granted
+
+    # Stagger the requests so arrival order at the home is defined.
+    for delay, node in ((0, 1), (50, 2), (100, 3)):
+        engine.schedule(delay, locks.acquire, 0, node, node,
+                        hold_then_release(node))
+    engine.run()
+    assert order == [1, 2, 3]
+    assert locks.total_grants() == 3
+    assert locks.holder_of(0) is None   # everyone released
+
+
+@pytest.mark.parametrize("algorithm", sorted(DSM_LOCK_IMPLS))
+def test_mutual_exclusion_under_simultaneous_requests(atm, engine,
+                                                      algorithm):
+    """Simultaneous acquires never overlap their critical sections."""
+    locks = make_locks(atm, algorithm)
+    active = [0]
+    sections = []
+
+    def contender(node):
+        def granted(time, _remote):
+            active[0] += 1
+            assert active[0] == 1, "two holders at once"
+            sections.append(node)
+
+            def leave():
+                active[0] -= 1
+                locks.release(0, node, node, lambda t: None)
+            engine.schedule(500, leave)
+        return granted
+
+    for node in range(4):
+        locks.acquire(0, node, node, contender(node))
+    engine.run()
+    assert sorted(sections) == [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("algorithm", sorted(DSM_LOCK_IMPLS))
+def test_wait_and_hold_cycles_accounted(atm, engine, counters, algorithm):
+    locks = make_locks(atm, algorithm)
+
+    def first_granted(time, _remote):
+        engine.schedule(5000, locks.release, 0, 1, 1, lambda t: None)
+
+    locks.acquire(0, 1, 1, first_granted)
+    engine.run()
+    locks.acquire(0, 2, 2, lambda t, r: None)   # waits behind node 1
+    engine.run()
+    # Node 2 spent the remainder of node 1's 5000-cycle hold waiting.
+    assert counters.lock_wait_cycles > 0
+    # Node 1's hold was at least the 5000 cycles it slept on the lock.
+    assert counters.lock_hold_cycles >= 5000
+
+
+def test_mcs_swap_is_off_the_critical_path(atm, engine, counters):
+    """An uncontended MCS handoff is request -> swap-grant: the extra
+    queue-link traffic only appears under contention."""
+    locks = make_locks(atm, "mcs")
+    locks.acquire(0, 1, 1, lambda t, r: None)
+    engine.run()
+    uncontended_forwards = counters.messages[MsgKind.LOCK_FORWARD]
+
+    # Contention: two more nodes swap in behind the holder; each busy
+    # swap costs a swap-reply plus a set-next link message.
+    locks.acquire(0, 2, 2, lambda t, r: None)
+    locks.acquire(0, 3, 3, lambda t, r: None)
+    engine.run()
+    assert counters.messages[MsgKind.LOCK_FORWARD] > uncontended_forwards
+    # Handoff itself is direct: holder -> successor, one grant each.
+    locks.release(0, 1, 1, lambda t: None)
+    engine.run()
+    assert locks.holder_of(0) == 2
+
+
+def test_ticket_release_notifies_home(atm, engine, counters):
+    """A contended ticket handoff goes through the home node (release
+    notify -> home reply -> grant): the honest 3-hop penalty."""
+    locks = make_locks(atm, "ticket")
+    locks.acquire(0, 1, 1, lambda t, r: None)
+    engine.run()
+    locks.acquire(0, 2, 2, lambda t, r: None)
+    engine.run()
+    before = counters.messages[MsgKind.LOCK_RELEASE]
+    locks.release(0, 1, 1, lambda t: None)
+    engine.run()
+    assert counters.messages[MsgKind.LOCK_RELEASE] == before + 1
+    assert locks.holder_of(0) == 2
+
+
+def test_combining_locks_merge_simultaneous_tickets(atm, engine, counters):
+    """Ticket grabs from different nodes inside one combining window
+    merge in the switch and bump combining_hits."""
+    locks = make_locks(atm, "combining")
+    locks.acquire(0, 1, 1, lambda t, r: None)
+    locks.acquire(0, 2, 2, lambda t, r: None)
+    locks.acquire(0, 3, 3, lambda t, r: None)
+    engine.run()
+    assert counters.combining_hits >= 2
+
+
+@pytest.mark.parametrize("algorithm", sorted(DSM_LOCK_IMPLS))
+def test_local_reacquire_free_of_messages(atm, engine, counters,
+                                          algorithm):
+    """Every algorithm keeps the paper's key property: re-acquiring a
+    lock whose token already rests at the node costs no messages."""
+    locks = make_locks(atm, algorithm)
+    # Lock 2's home (and initial token holder) is node 2.
+    locks.acquire(2, 2, 0, lambda t, r: None)
+    engine.run()
+    locks.release(2, 2, 0, lambda t: None)
+    engine.run()
+    locks.acquire(2, 2, 0, lambda t, r: None)
+    engine.run()
+    assert counters.total_messages == 0
+    assert counters.remote_lock_acquires == 0

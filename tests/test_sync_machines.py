@@ -1,0 +1,109 @@
+"""Sync policies threaded through the machines: fingerprints,
+naming, determinism, and end-to-end correctness."""
+
+import pytest
+
+from repro import Scale, make_app, make_machine
+from repro.errors import ConfigurationError
+from repro.harness.parallel import RunPlan, execute_plan
+from repro.sync import DEFAULT_SYNC, SyncPolicy
+
+ALL_MACHINES = ("treadmarks", "sgi", "as", "ah", "hs")
+
+# One policy exercising each non-default algorithm family.
+PROBE_POLICIES = ("mcs+tree", "ticket+central", "combining+combining")
+
+
+def test_make_machine_parses_sync_specs():
+    machine = make_machine("as", sync="mcs+tree")
+    assert machine.sync == SyncPolicy(lock="mcs", barrier="tree")
+    assert machine.name == "as-mcs+tree"
+    with pytest.raises(ConfigurationError):
+        make_machine("as", sync="mcs+ring")
+
+
+def test_default_policy_leaves_name_and_fingerprint_alone():
+    """`sync=None`, explicit default policy, and the pre-sync
+    constructor surface are one and the same machine — old cache
+    entries and goldens stay valid."""
+    for name in ALL_MACHINES:
+        plain = make_machine(name)
+        explicit = make_machine(name, sync="token+central")
+        assert plain.sync == DEFAULT_SYNC
+        assert explicit.name == plain.name
+        for nprocs in (1, 8):
+            assert explicit.fingerprint(nprocs) == \
+                plain.fingerprint(nprocs), name
+
+
+def test_non_default_policy_forks_the_fingerprint():
+    for name in ALL_MACHINES:
+        plain = make_machine(name)
+        swept = make_machine(name, sync="mcs+tree")
+        assert swept.fingerprint(8) != plain.fingerprint(8), name
+
+
+def test_software_machines_share_the_uniprocessor_baseline():
+    """On AS/HS/TreadMarks one processor is one node: no remote sync
+    machinery engages, so every policy shares the 1-proc baseline
+    (one simulation, one cache entry, for the whole sweep)."""
+    for name in ("treadmarks", "as", "hs"):
+        plain = make_machine(name)
+        for spec in PROBE_POLICIES:
+            swept = make_machine(name, sync=spec)
+            assert swept.fingerprint(1) == plain.fingerprint(1), \
+                (name, spec)
+
+
+def test_hardware_machines_fork_at_one_processor():
+    """AH/SGI synchronization hardware differs even at 1 processor
+    (a combining barrier's release is a flag write + refetch), so
+    their fingerprints must not alias across policies."""
+    for name in ("ah", "sgi"):
+        plain = make_machine(name)
+        swept = make_machine(name, sync="combining+combining")
+        assert swept.fingerprint(1) != plain.fingerprint(1), name
+
+
+def test_tree_radix_is_fingerprint_relevant():
+    r4 = make_machine("as", sync="mcs+tree")
+    r8 = make_machine("as", sync="mcs+tree@r8")
+    assert r4.fingerprint(8) != r8.fingerprint(8)
+
+
+@pytest.mark.parametrize("name", ALL_MACHINES)
+@pytest.mark.parametrize("spec", PROBE_POLICIES)
+def test_apps_verify_under_every_policy(name, spec, lockcounter):
+    """Synchronization algorithms change timing, never results."""
+    machine = make_machine(name, sync=spec)
+    result = machine.run(lockcounter, 4)
+    assert result.app_output == {"count": 4 * lockcounter.increments}
+
+
+@pytest.mark.parametrize("name", ALL_MACHINES)
+def test_policy_changes_timing_not_results(name, pingpong):
+    baseline = make_machine(name).run(pingpong, 4)
+    for spec in PROBE_POLICIES:
+        result = make_machine(name, sync=spec).run(pingpong, 4)
+        assert result.app_output == baseline.app_output, (name, spec)
+
+
+def test_sync_sweep_cells_serial_equals_pool():
+    """The determinism pin for sweep cells: a policy grid fanned out
+    over worker processes reproduces the serial run byte-for-byte."""
+    plan = RunPlan()
+    app = make_app("tsp18", Scale.TEST)
+    for spec in ("token+central", "mcs+tree", "combining+combining"):
+        for nprocs in (1, 4):
+            plan.add(make_machine("as", sync=spec), app, nprocs)
+    serial = [r.summary() for r in execute_plan(plan, jobs=1)]
+    pooled = [r.summary() for r in execute_plan(plan, jobs=2)]
+    assert serial == pooled
+
+
+def test_run_to_run_determinism_with_policies():
+    app = make_app("mwater", Scale.TEST)
+    machine = make_machine("hs", sync="ticket+tree")
+    first = machine.run(app, 4)
+    second = make_machine("hs", sync="ticket+tree").run(app, 4)
+    assert first.summary() == second.summary()

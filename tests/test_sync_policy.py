@@ -1,0 +1,76 @@
+"""The SyncPolicy value object and the parse_sync spec grammar."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sync import (BARRIER_ALGORITHMS, DEFAULT_SYNC, LOCK_ALGORITHMS,
+                        SyncPolicy, parse_sync)
+
+
+def test_default_policy():
+    assert DEFAULT_SYNC.lock == "token"
+    assert DEFAULT_SYNC.barrier == "central"
+    assert DEFAULT_SYNC.is_default
+    assert parse_sync(None) == DEFAULT_SYNC
+
+
+def test_algorithm_inventories():
+    assert set(LOCK_ALGORITHMS) == {"token", "mcs", "ticket", "combining"}
+    assert set(BARRIER_ALGORITHMS) == {"central", "tree", "combining"}
+
+
+def test_parse_full_spec():
+    policy = parse_sync("mcs+tree")
+    assert policy == SyncPolicy(lock="mcs", barrier="tree")
+    assert not policy.is_default
+
+
+def test_parse_lock_only_and_barrier_only():
+    assert parse_sync("ticket") == SyncPolicy(lock="ticket")
+    assert parse_sync("+tree") == SyncPolicy(barrier="tree")
+
+
+def test_parse_radix_suffix():
+    policy = parse_sync("mcs+tree@r8")
+    assert policy.tree_radix == 8
+    assert policy.label() == "mcs+tree@r8"
+
+
+def test_parse_passthrough_and_mapping():
+    policy = SyncPolicy(lock="mcs")
+    assert parse_sync(policy) is policy
+    assert parse_sync({"lock": "mcs", "barrier": "tree"}) == \
+        SyncPolicy(lock="mcs", barrier="tree")
+
+
+def test_labels():
+    assert DEFAULT_SYNC.label() == "token+central"
+    assert SyncPolicy(lock="mcs").label() == "mcs+central"
+    assert SyncPolicy(barrier="tree").label() == "token+tree"
+    # The radix only shows when a tree barrier actually uses it.
+    assert SyncPolicy(tree_radix=8).label() == "token+central"
+
+
+def test_label_round_trips_through_parse():
+    for lock in LOCK_ALGORITHMS:
+        for barrier in BARRIER_ALGORITHMS:
+            policy = SyncPolicy(lock=lock, barrier=barrier)
+            assert parse_sync(policy.label()) == policy
+
+
+@pytest.mark.parametrize("bad", [
+    "spinlock", "mcs+ring", "mcs+tree@r1", "mcs+tree@rx",
+    "mcs+tree+extra", 17,
+])
+def test_invalid_specs_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        parse_sync(bad)
+
+
+def test_invalid_policy_fields_rejected():
+    with pytest.raises(ConfigurationError):
+        SyncPolicy(lock="nope")
+    with pytest.raises(ConfigurationError):
+        SyncPolicy(barrier="nope")
+    with pytest.raises(ConfigurationError):
+        SyncPolicy(tree_radix=1)
