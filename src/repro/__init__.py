@@ -40,7 +40,7 @@ from repro.harness.workloads import Scale, make_app
 from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
                             DecTreadMarksMachine, HybridMachine, Machine,
                             machine_names, make_machine, SgiMachine)
-from repro.net.faults import FaultPlan
+from repro.net.faults import CrashEvent, FaultPlan, RetryPolicy
 from repro.net.overhead import OverheadPreset, SoftwareOverhead
 from repro.stats import Counters, RunResult, SpeedupSeries
 from repro.sync import (BARRIER_ALGORITHMS, DEFAULT_SYNC, LOCK_ALGORITHMS,
@@ -82,6 +82,8 @@ __all__ = [
     "OverheadPreset",
     "SoftwareOverhead",
     "FaultPlan",
+    "CrashEvent",
+    "RetryPolicy",
     # synchronization design space
     "SyncPolicy",
     "parse_sync",

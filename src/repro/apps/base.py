@@ -61,6 +61,19 @@ class Application:
         """
         return {}
 
+    def on_node_failed(self, ctx: AppContext, procs: List[int]) -> None:
+        """Crash recovery declared the node owning ``procs`` dead.
+
+        Called once per declared node failure (``repro.recover``),
+        after the DSM stack repair.  Applications whose termination
+        depends on shared run state that dead workers contribute to —
+        an active-worker count, a work-stealing tally — must retire
+        the dead procs' share here, or the survivors wait forever for
+        work that will never finish.  The default is a no-op:
+        barrier-structured programs need nothing (barrier membership
+        shrinks in the DSM repair).
+        """
+
     # ------------------------------------------------------------------
     def check_nprocs(self, nprocs: int) -> None:
         """Reject processor counts this program cannot split over."""

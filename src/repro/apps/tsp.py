@@ -117,6 +117,10 @@ class TspApp(Application):
         # is serialized by the simulated queue lock.
         ctx.params["_queue"] = [((0,), 0.0)]
         ctx.params["_active"] = 0
+        # Which workers currently hold a popped-but-unretired item;
+        # crash recovery uses this to keep the active count honest
+        # when a worker dies mid-item (see on_node_failed).
+        ctx.params["_working"] = [False] * ctx.nprocs
         ctx.params["_expansions"] = [0] * ctx.nprocs
         ctx.params["_best_tour"] = None
 
@@ -205,6 +209,7 @@ class TspApp(Application):
             yield ops.Acquire(QUEUE_LOCK)
             if working:
                 ctx.params["_active"] -= 1
+                ctx.params["_working"][proc] = False
                 working = False
             if not queue:
                 idle = ctx.params["_active"] == 0
@@ -217,6 +222,7 @@ class TspApp(Application):
             backoff = IDLE_BACKOFF_MIN_CYCLES
             prefix, length = queue.pop()
             ctx.params["_active"] += 1
+            ctx.params["_working"][proc] = True
             working = True
             slot = len(queue) % self.queue_capacity
             yield ops.Read("tsp_queue", slot * SLOT_BYTES, SLOT_BYTES)
@@ -326,8 +332,34 @@ class TspApp(Application):
             best = min(best, fresh)
 
     # ------------------------------------------------------------------
+    def on_node_failed(self, ctx: AppContext, procs) -> None:
+        """Retire dead workers' in-flight queue items.
+
+        A worker that crashes between popping a partial tour and
+        retiring it takes the subtree with it (crash-stop loses work —
+        ``verify`` accepts that), but its increment of the shared
+        active-worker count must not leak: the survivors' termination
+        test is "queue empty and nobody active", so a leaked count
+        turns completion into an infinite idle-poll loop.
+        """
+        working = ctx.params.get("_working")
+        if not working:
+            return
+        for p in procs:
+            if p < len(working) and working[p]:
+                working[p] = False
+                ctx.params["_active"] -= 1
+
+    # ------------------------------------------------------------------
     def verify(self, ctx: AppContext) -> Dict[str, object]:
-        """Check the parallel optimum against a sequential solve."""
+        """Check the parallel optimum against a sequential solve.
+
+        A degraded run (``_failed_nodes`` set by crash recovery) gets
+        relaxed acceptance: a crashed worker takes its unexplored
+        subtrees with it, so the survivors' best tour only has to be a
+        *valid* tour no better than the true optimum — crash-stop
+        failures lose work, they must never invent a shorter tour.
+        """
         dist, min_edge = self._tables()
         key = (self.cities, self.coord_seed)
         solved = _SEQ_SOLVE_CACHE.get(key)
@@ -335,12 +367,26 @@ class TspApp(Application):
             solved = self._solve_local(dist, min_edge, (0,), 0.0, math.inf)
             _SEQ_SOLVE_CACHE[key] = solved
         expansions, best, tour = solved
+        degraded = bool(ctx.params.get("_failed_nodes"))
         best_tour = ctx.params.get("_best_tour")
-        assert best_tour is not None, "parallel run found no tour"
+        if best_tour is None:
+            assert degraded, "parallel run found no tour"
+            return {
+                "optimal_length": float(best),
+                "sequential_expansions": expansions,
+                "parallel_expansions": sum(ctx.params["_expansions"]),
+            }
+        assert sorted(best_tour) == list(range(len(best_tour))), (
+            "parallel best tour is not a permutation of the cities")
         par_len = sum(dist[best_tour[i]][best_tour[(i + 1) % len(best_tour)]]
                       for i in range(len(best_tour)))
-        assert abs(par_len - best) < 1e-6, (
-            f"parallel optimum {par_len} != sequential optimum {best}")
+        if degraded:
+            assert par_len >= best - 1e-6, (
+                f"degraded run produced an impossible tour: {par_len} "
+                f"beats the sequential optimum {best}")
+        else:
+            assert abs(par_len - best) < 1e-6, (
+                f"parallel optimum {par_len} != sequential optimum {best}")
         return {
             "optimal_length": float(best),
             "sequential_expansions": expansions,

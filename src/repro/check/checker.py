@@ -167,6 +167,7 @@ class DsmChecker(BaseChecker):
         self._closed_vc: List[Optional[Tuple[int, ...]]] = [None] * n
         self._diffs_created: set = set()
         self._fault_pending: dict = {}
+        self._failed_nodes: set = set()
         self.history: Optional[list] = [] if config.history else None
         self.history_checks = 0
 
@@ -346,9 +347,25 @@ class DsmChecker(BaseChecker):
             self.history.append(("eager", other, page,
                                  (interval.node, interval.index)))
 
+    # -- crash-stop recovery -------------------------------------------
+    def on_node_failed(self, node: int) -> None:
+        """Recovery declared ``node`` dead and repaired the stack.
+
+        The online invariants keep running on the survivors, but the
+        run is marked degraded: the dead node's in-flight faults will
+        never report ``fault_done``, and post-run history replay is
+        skipped — crash-stop recovery deliberately loses the dead
+        node's unpropagated intervals, which strict LRC replay would
+        (correctly, but unhelpfully) flag.
+        """
+        self._emit("node_failed", node)
+        self._failed_nodes.add(node)
+        for key in [k for k in self._fault_pending if k[0] == node]:
+            del self._fault_pending[key]
+
     # -- end of run ----------------------------------------------------
     def finish(self) -> None:
-        if self.history is not None:
+        if self.history is not None and not self._failed_nodes:
             self.history_checks = verify_lrc_history(
                 self.history, self._history_fail)
 

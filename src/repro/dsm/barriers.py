@@ -31,6 +31,17 @@ arriving node's own ``arrive_payload`` even though the message targets
 the parent rather than the manager; interval bytes are what they are
 regardless of the hop that carries them.
 
+Crash-stop recovery (:mod:`repro.recover`): when a node is declared
+dead, :meth:`DsmBarrierBase.remove_node` shrinks membership from n to
+n−1.  Completion becomes set-based (*every surviving node has
+arrived*), open episodes are re-checked immediately, and all
+algorithms degrade to central-style routing through the (possibly
+reassigned) manager for the rest of the run — a tree with a dead
+internal node or a combining fabric aimed at a dead home is no longer
+sound, and correctness beats topology once the machine is degraded.
+Episode ``departed`` sets make departure delivery idempotent, so
+repair re-sends can never double-release a waiter.
+
 The HS machine arranges for only the *last* processor of each node to
 trigger the node-level arrival (§3.1); that logic lives in the machine
 layer — this module works purely at node granularity.
@@ -39,7 +50,7 @@ layer — this module works purely at node granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.stats.counters import DataKind, MsgKind
@@ -51,9 +62,22 @@ DepartCallback = Callable[[int], None]
 
 @dataclass
 class _Episode:
+    barrier_id: int
     index: int
     waiting: Dict[int, DepartCallback] = field(default_factory=dict)
-    arrived: int = 0
+    #: Nodes whose arrival has reached the completion authority
+    #: (manager-side knowledge, or recovery's resync seeding).
+    arrived_nodes: Set[int] = field(default_factory=set)
+    #: True once the episode completed; stale in-flight arrivals and
+    #: up-ticks against a completed episode become no-ops.
+    done: bool = False
+    #: Nodes whose departure has been handed to them (idempotence
+    #: guard: a repair re-send racing the original cannot double
+    #: release).
+    departed: Set[int] = field(default_factory=set)
+    #: Manager node at completion time (the departure source the
+    #: release wave depends on).
+    release_src: int = -1
     first_arrival: int = -1  # time of first node arrival (for tracing)
     up: Dict[int, int] = field(default_factory=dict)  # tree up-counters
 
@@ -65,7 +89,10 @@ class DsmBarrierBase:
     consistency merge at completion, and departure dispatch are
     common; subclasses implement :meth:`_on_arrival` (how an arrival
     propagates) and completion triggers :meth:`_release` (how
-    departures propagate).
+    departures propagate).  After any crash-stop failure
+    (:meth:`remove_node`) the base class takes over routing entirely:
+    arrivals and departures flow central-style through the current
+    manager regardless of algorithm.
     """
 
     algorithm = "base"
@@ -87,7 +114,16 @@ class DsmBarrierBase:
         self.local_cycles = local_cycles
         self._episodes: Dict[int, _Episode] = {}
         self._counts: Dict[int, int] = {}
+        #: Episodes that completed but whose departure wave may still
+        #: be in flight (crash repair re-sends lost departures).
+        self._releasing: Dict[Tuple[int, int], _Episode] = {}
+        #: Nodes declared dead by recovery; excluded from membership.
+        self.dead: Set[int] = set()
         self.completed: int = 0
+
+    def _alive(self) -> Set[int]:
+        """Current membership: all nodes not declared dead."""
+        return {i for i in range(self.num_nodes) if i not in self.dead}
 
     # ------------------------------------------------------------------
     def arrive(self, barrier_id: int, node: int,
@@ -95,7 +131,7 @@ class DsmBarrierBase:
         """Node-level arrival; ``done(time)`` fires at departure."""
         episode = self._episodes.get(barrier_id)
         if episode is None:
-            episode = _Episode(self._counts.get(barrier_id, 0))
+            episode = _Episode(barrier_id, self._counts.get(barrier_id, 0))
             self._episodes[barrier_id] = episode
         if node in episode.waiting:
             raise ProtocolError(
@@ -110,19 +146,52 @@ class DsmBarrierBase:
             tracer.instant(node, Category.SYNC, "barrier_arrive",
                            engine.now, track=f"node{node}.dsm",
                            barrier=barrier_id, episode=episode.index)
-        self._on_arrival(barrier_id, episode, node)
+        if self.dead:
+            self._degraded_arrival(barrier_id, episode, node)
+        else:
+            self._on_arrival(barrier_id, episode, node)
 
     def _on_arrival(self, barrier_id: int, episode: _Episode,
                     node: int) -> None:
         raise NotImplementedError
 
+    def _degraded_arrival(self, barrier_id: int, episode: _Episode,
+                          node: int) -> None:
+        """Post-failure arrival: central-style to the current manager."""
+        if node == self.manager_node:
+            self._arrived(barrier_id, episode, node)
+            return
+        self.net.send(node, self.manager_node, self.arrive_payload(node),
+                      kind=MsgKind.BARRIER_ARRIVE,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda _t:
+                      self._arrived(barrier_id, episode, node))
+
+    def _arrived(self, barrier_id: int, episode: _Episode,
+                 node: int) -> None:
+        """An arrival reached the completion authority."""
+        if episode.done:
+            return  # stale delivery against a completed episode
+        episode.arrived_nodes.add(node)
+        self._check_complete(barrier_id, episode)
+
+    def _check_complete(self, barrier_id: int, episode: _Episode) -> None:
+        """Complete the episode once every *surviving* node is in."""
+        if episode.done:
+            return
+        if self._alive() <= episode.arrived_nodes:
+            self._complete(barrier_id, episode)
+
     # ------------------------------------------------------------------
     def _complete(self, barrier_id: int, episode: _Episode) -> None:
-        """All nodes are in: merge knowledge, retire the episode."""
+        """All (surviving) nodes are in: merge, retire the episode."""
+        episode.done = True
         self.on_all_arrived()
         self.completed += 1
         self._counts[barrier_id] = episode.index + 1
         del self._episodes[barrier_id]
+        episode.release_src = self.manager_node
+        self._releasing[(barrier_id, episode.index)] = episode
         engine = self.net.engine
         tracer = engine.tracer
         if tracer.enabled and engine.now > episode.first_arrival:
@@ -130,20 +199,118 @@ class DsmBarrierBase:
                 self.manager_node, Category.SYNC,
                 f"barrier{barrier_id}#{episode.index}",
                 episode.first_arrival, engine.now, track="barrier",
-                nodes=self.num_nodes)
-        self._release(episode)
+                nodes=self.num_nodes - len(self.dead))
+        if self.dead:
+            self._release_degraded(episode)
+        else:
+            self._release(episode)
 
     def _release(self, episode: _Episode) -> None:
         raise NotImplementedError
 
-    def _local_depart(self, node: int, done: DepartCallback) -> None:
+    def _release_degraded(self, episode: _Episode) -> None:
+        """Post-failure departure wave: manager to each survivor."""
+        for dst, done in episode.waiting.items():
+            if dst in self.dead:
+                continue
+            if dst == self.manager_node:
+                self._local_depart(episode, dst, done)
+            else:
+                self._send_depart_from_manager(episode, dst, done)
+
+    def _send_depart_from_manager(self, episode: _Episode, dst: int,
+                                  done: DepartCallback) -> None:
+        """One departure message from the current manager to ``dst``."""
+        self.net.send(self.manager_node, dst, self.depart_payload(dst),
+                      kind=MsgKind.BARRIER_DEPART,
+                      data_kind=DataKind.CONSISTENCY,
+                      on_delivered=lambda t, d=dst, cb=done:
+                      self._episode_depart(episode, d, cb, t))
+
+    def _local_depart(self, episode: _Episode, node: int,
+                      done: DepartCallback) -> None:
+        episode.departed.add(node)
         engine = self.net.engine
         at = engine.now + self.local_cycles
         engine.schedule_at(at, self._depart, node, done, at)
+        self._maybe_retire(episode)
+
+    def _episode_depart(self, episode: _Episode, node: int,
+                        done: DepartCallback, time: int) -> None:
+        """Idempotent departure delivery (repair re-sends may race)."""
+        if node in episode.departed:
+            return
+        episode.departed.add(node)
+        self._depart(node, done, time)
+        self._maybe_retire(episode)
 
     def _depart(self, node: int, done: DepartCallback, time: int) -> None:
         self.on_depart(node)
         done(time)
+
+    def _maybe_retire(self, episode: _Episode) -> None:
+        """Drop release bookkeeping once every survivor departed."""
+        if all(d in episode.departed or d in self.dead
+               for d in episode.waiting):
+            self._releasing.pop((episode.barrier_id, episode.index), None)
+
+    # ------------------------------------------------------------------
+    # crash-stop recovery (repro.recover)
+    # ------------------------------------------------------------------
+    def remove_node(self, node: int, now: int) -> int:
+        """Shrink barrier membership after ``node`` is declared dead.
+
+        Reassigns the manager seat if it died, seeds every open
+        episode's arrival knowledge from the survivors already waiting
+        (the recovery resync), re-checks completion with the reduced
+        membership, and re-sends departures the dead node would have
+        carried.  Returns the number of episodes reconfigured (the
+        ``barrier_reconfigs`` counter contribution).
+        """
+        self.dead.add(node)
+        alive = self._alive()
+        if not alive:
+            raise ProtocolError("no surviving node left to run barriers")
+        if self.manager_node in self.dead:
+            self.manager_node = min(alive)
+        engine = self.net.engine
+        tracer = engine.tracer
+        reconfigs = 0
+        for barrier_id, episode in list(self._episodes.items()):
+            reconfigs += 1
+            # Recovery resync: survivors that already arrived locally
+            # are known to the (new) manager even if their arrival
+            # message died with the old topology.
+            episode.arrived_nodes |= set(episode.waiting) - self.dead
+            if tracer.enabled:
+                tracer.instant(self.manager_node, Category.RECOVERY,
+                               "barrier_reconfig", now,
+                               track=f"node{self.manager_node}.dsm",
+                               barrier=barrier_id, episode=episode.index,
+                               dead=node)
+            self._check_complete(barrier_id, episode)
+        for episode in list(self._releasing.values()):
+            if self._repair_release(episode, node):
+                reconfigs += 1
+        return reconfigs
+
+    def _repair_release(self, episode: _Episode, dead_node: int) -> bool:
+        """Re-send departures that may have died with ``dead_node``."""
+        resent = False
+        for dst, done in episode.waiting.items():
+            if (dst in self.dead or dst in episode.departed
+                    or dead_node not in self._depart_path(episode, dst)):
+                continue
+            self._send_depart_from_manager(episode, dst, done)
+            resent = True
+        self._maybe_retire(episode)
+        return resent
+
+    def _depart_path(self, episode: _Episode, dst: int) -> Set[int]:
+        """Nodes the departure for ``dst`` travels through (source
+        included, ``dst`` excluded); a crash on this path may have
+        lost the departure."""
+        return {episode.release_src}
 
 
 class BarrierManager(DsmBarrierBase):
@@ -154,7 +321,7 @@ class BarrierManager(DsmBarrierBase):
     def _on_arrival(self, barrier_id: int, episode: _Episode,
                     node: int) -> None:
         if node == self.manager_node:
-            self._arrived(barrier_id, node)
+            self._arrived(barrier_id, episode, node)
         else:
             self._send_arrival(barrier_id, episode, node)
 
@@ -165,19 +332,14 @@ class BarrierManager(DsmBarrierBase):
                       kind=MsgKind.BARRIER_ARRIVE,
                       data_kind=DataKind.CONSISTENCY,
                       on_delivered=lambda _t:
-                      self._arrived(barrier_id, node))
-
-    def _arrived(self, barrier_id: int, node: int) -> None:
-        episode = self._episodes[barrier_id]
-        episode.arrived += 1
-        if episode.arrived < self.num_nodes:
-            return
-        self._complete(barrier_id, episode)
+                      self._arrived(barrier_id, episode, node))
 
     def _release(self, episode: _Episode) -> None:
         for dst, done in episode.waiting.items():
+            if dst in self.dead:
+                continue
             if dst == self.manager_node:
-                self._local_depart(dst, done)
+                self._local_depart(episode, dst, done)
             else:
                 self._send_depart(episode, dst, done)
 
@@ -188,7 +350,7 @@ class BarrierManager(DsmBarrierBase):
                       kind=MsgKind.BARRIER_DEPART,
                       data_kind=DataKind.CONSISTENCY,
                       on_delivered=lambda t, d=dst, cb=done:
-                      self._depart(d, cb, t))
+                      self._episode_depart(episode, d, cb, t))
 
 
 class CombiningBarrier(BarrierManager):
@@ -218,7 +380,7 @@ class CombiningBarrier(BarrierManager):
                              kind=MsgKind.BARRIER_ARRIVE,
                              key=("barrier", barrier_id, episode.index),
                              on_delivered=lambda _t:
-                             self._arrived(barrier_id, node))
+                             self._arrived(barrier_id, episode, node))
 
     def _send_depart(self, episode: _Episode, dst: int,
                      done: DepartCallback) -> None:
@@ -227,7 +389,7 @@ class CombiningBarrier(BarrierManager):
                               kind=MsgKind.BARRIER_DEPART,
                               key=("barrier-release", episode.index),
                               on_delivered=lambda t, d=dst, cb=done:
-                              self._depart(d, cb, t))
+                              self._episode_depart(episode, d, cb, t))
 
 
 class TreeBarrier(DsmBarrierBase):
@@ -252,11 +414,11 @@ class TreeBarrier(DsmBarrierBase):
         self.tree_radix = tree_radix
 
     # -- static topology ------------------------------------------------
-    def _node_of(self, li: int) -> int:
-        return (self.manager_node + li) % self.num_nodes
+    def _node_of(self, li: int, root: int) -> int:
+        return (root + li) % self.num_nodes
 
-    def _index_of(self, node: int) -> int:
-        return (node - self.manager_node) % self.num_nodes
+    def _index_of(self, node: int, root: int) -> int:
+        return (node - root) % self.num_nodes
 
     def _children(self, li: int) -> List[int]:
         first = self.tree_radix * li + 1
@@ -266,19 +428,27 @@ class TreeBarrier(DsmBarrierBase):
     # -- up phase --------------------------------------------------------
     def _on_arrival(self, barrier_id: int, episode: _Episode,
                     node: int) -> None:
-        self._up_tick(barrier_id, episode, self._index_of(node))
+        self._up_tick(barrier_id, episode,
+                      self._index_of(node, self.manager_node))
 
     def _up_tick(self, barrier_id: int, episode: _Episode,
                  li: int) -> None:
+        if episode.done:
+            return  # recovery completed the episode with n−1 members
         episode.up[li] = episode.up.get(li, 0) + 1
         if episode.up[li] < 1 + len(self._children(li)):
             return
         if li == 0:
-            self._complete(barrier_id, episode)
+            # The root has its whole tree: all members arrived.
+            root = self.manager_node
+            for member in range(self.num_nodes):
+                episode.arrived_nodes.add(member)
+            self._check_complete(barrier_id, episode)
             return
         parent = (li - 1) // self.tree_radix
-        src = self._node_of(li)
-        self.net.send(src, self._node_of(parent),
+        root = self.manager_node
+        src = self._node_of(li, root)
+        self.net.send(src, self._node_of(parent, root),
                       self.arrive_payload(src),
                       kind=MsgKind.BARRIER_ARRIVE,
                       data_kind=DataKind.CONSISTENCY,
@@ -288,13 +458,14 @@ class TreeBarrier(DsmBarrierBase):
     # -- down phase ------------------------------------------------------
     def _release(self, episode: _Episode) -> None:
         self._wave(episode, 0)
-        root = self._node_of(0)
-        self._local_depart(root, episode.waiting[root])
+        root = self._node_of(0, episode.release_src)
+        self._local_depart(episode, root, episode.waiting[root])
 
     def _wave(self, episode: _Episode, li: int) -> None:
-        src = self._node_of(li)
+        root = episode.release_src
+        src = self._node_of(li, root)
         for child in self._children(li):
-            dst = self._node_of(child)
+            dst = self._node_of(child, root)
             self.net.send(src, dst, self.depart_payload(dst),
                           kind=MsgKind.BARRIER_DEPART,
                           data_kind=DataKind.CONSISTENCY,
@@ -303,8 +474,22 @@ class TreeBarrier(DsmBarrierBase):
 
     def _tree_depart(self, episode: _Episode, li: int, node: int,
                      time: int) -> None:
+        if node in episode.departed:
+            return  # repair re-send already released this node
+        episode.departed.add(node)
         self._wave(episode, li)  # forward first, then release locally
         self._depart(node, episode.waiting[node], time)
+        self._maybe_retire(episode)
+
+    def _depart_path(self, episode: _Episode, dst: int) -> Set[int]:
+        """All ancestors of ``dst`` in the release tree (root first)."""
+        root = episode.release_src
+        path: Set[int] = set()
+        li = self._index_of(dst, root)
+        while li != 0:
+            li = (li - 1) // self.tree_radix
+            path.add(self._node_of(li, root))
+        return path
 
 
 #: Barrier algorithm name -> implementation class.

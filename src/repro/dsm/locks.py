@@ -79,6 +79,17 @@ class LockRecord:
     grants: int = 0
     local_grants: int = 0
     granted_at: int = 0  # last grant time (hold-cycle accounting)
+    #: Waiter whose grant is in flight (crash repair needs to know who
+    #: would strand if the grant dies with a crashed endpoint).
+    pending_grant: Optional[_Waiter] = None
+    #: Node the in-flight grant departed from.
+    grant_src: Optional[int] = None
+    #: Releaser node of an in-flight ticket release-notify handshake.
+    notify_node: Optional[int] = None
+    #: Bumped by :meth:`DsmLocks.remove_node` whenever it rewrites this
+    #: record; in-flight completion closures captured the old epoch and
+    #: turn into no-ops, so a straggler delivery cannot double-grant.
+    repair_epoch: int = 0
 
     @property
     def available(self) -> bool:
@@ -121,17 +132,29 @@ class DsmLocks:
         # Manager-side probable-owner pointers: lock -> node the manager
         # last directed the token toward (used by the token algorithm).
         self._probable_owner: Dict[int, int] = {}
+        #: Nodes declared dead by recovery; excluded from homing,
+        #: queues, and grants.
+        self.dead: set = set()
 
     # ------------------------------------------------------------------
     def record(self, lock_id: int) -> LockRecord:
         """The (lazily created) global record of ``lock_id``."""
         rec = self._locks.get(lock_id)
         if rec is None:
-            manager = lock_id % self.num_nodes
+            manager = self._fallback_home(lock_id)
             rec = LockRecord(lock_id, manager, token_node=manager)
             self._locks[lock_id] = rec
             self._probable_owner[lock_id] = manager
         return rec
+
+    def _fallback_home(self, lock_id: int) -> int:
+        """First surviving node cycling up from the static home."""
+        for step in range(self.num_nodes):
+            cand = (lock_id + step) % self.num_nodes
+            if cand not in self.dead:
+                return cand
+        raise ProtocolError(
+            f"no surviving node left to home lock {lock_id}")
 
     # ------------------------------------------------------------------
     def acquire(self, lock_id: int, node: int, proc: int,
@@ -172,6 +195,10 @@ class DsmLocks:
         raise NotImplementedError
 
     def _enqueue_at_holder(self, rec: LockRecord, waiter: _Waiter) -> None:
+        if waiter.node in self.dead:
+            # The requester died while its request was on the wire;
+            # its processors are gone, so the request simply vanishes.
+            return
         if rec.available:
             self._grant(rec, waiter)
         else:
@@ -224,6 +251,9 @@ class DsmLocks:
         payload = self.grant_payload(src, waiter.node)
         rec.token_node = waiter.node  # token (plus queue) migrates
         rec.in_transit = True
+        rec.pending_grant = waiter
+        rec.grant_src = src
+        epoch = rec.repair_epoch
         tracer = engine.tracer
         if tracer.enabled:
             tracer.instant(src, Category.SYNC, "lock_grant",
@@ -231,7 +261,11 @@ class DsmLocks:
                            lock=rec.lock_id, to=waiter.node)
 
         def delivered(time: int, w=waiter, s=src, r=rec) -> None:
+            if r.repair_epoch != epoch:
+                return  # crash repair superseded this grant
             r.in_transit = False
+            r.pending_grant = None
+            r.grant_src = None
             r.held = True
             r.holder_proc = w.proc
             r.granted_at = time
@@ -256,6 +290,103 @@ class DsmLocks:
             return None
         return rec.token_node
 
+    # ------------------------------------------------------------------
+    # crash-stop recovery (repro.recover)
+    # ------------------------------------------------------------------
+    def remove_node(self, node: int, now: int) -> int:
+        """Regenerate lock state after ``node`` is declared dead.
+
+        Purges dead waiters, moves manager seats and resting/held
+        tokens off the dead node, and restarts handoffs whose in-flight
+        message involved it.  Every rewritten record's ``repair_epoch``
+        is bumped so straggler deliveries of superseded grants become
+        no-ops.  Returns the number of locks regenerated (the
+        ``locks_regenerated`` counter contribution).
+        """
+        self.dead.add(node)
+        engine = self.net.engine
+        tracer = engine.tracer
+        repaired = 0
+        for rec in self._locks.values():
+            changed = False
+
+            # Waiters from dead nodes will never consume a grant.
+            survivors = [w for w in rec.queue if w.node not in self.dead]
+            if len(survivors) != len(rec.queue):
+                rec.queue = deque(survivors)
+                changed = True
+
+            # A ticket release-notify handshake stuck at a dead peer
+            # (home or releaser): cancel it; the handoff restarts
+            # below.  Checked before the manager seat moves.
+            if (rec.in_transit and rec.pending_grant is None
+                    and (rec.manager in self.dead
+                         or rec.notify_node in self.dead)):
+                rec.repair_epoch += 1
+                rec.in_transit = False
+                rec.notify_node = None
+                changed = True
+
+            if rec.manager in self.dead:
+                rec.manager = self._fallback_home(rec.lock_id)
+                changed = True
+
+            if rec.in_transit and rec.pending_grant is not None and (
+                    rec.token_node in self.dead
+                    or rec.grant_src in self.dead):
+                # The in-flight grant dies with one of its endpoints.
+                # A surviving acquirer goes back to the head of the
+                # queue; the token rematerializes at the manager.
+                waiter = rec.pending_grant
+                rec.repair_epoch += 1
+                rec.in_transit = False
+                rec.pending_grant = None
+                rec.grant_src = None
+                rec.held = False
+                rec.holder_proc = None
+                rec.token_node = rec.manager
+                if waiter.node not in self.dead:
+                    rec.queue.appendleft(waiter)
+                changed = True
+            elif not rec.in_transit and rec.token_node in self.dead:
+                # Token resting at (or held by) the dead node: the
+                # holder can never release, so the token is reminted
+                # at the manager.
+                rec.repair_epoch += 1
+                rec.token_node = rec.manager
+                rec.held = False
+                rec.holder_proc = None
+                changed = True
+
+            if self._probable_owner.get(rec.lock_id) in self.dead:
+                self._probable_owner[rec.lock_id] = rec.token_node
+                changed = True
+
+            if changed:
+                repaired += 1
+                if tracer.enabled:
+                    tracer.instant(rec.manager, Category.RECOVERY,
+                                   "lock_regenerated", now,
+                                   track=f"node{rec.manager}.dsm",
+                                   lock=rec.lock_id, dead=node)
+                if not rec.held and not rec.in_transit and rec.queue:
+                    # Restart the handoff from the repaired state.
+                    self._grant(rec, rec.queue.popleft())
+        return repaired
+
+    def _reroute(self, rec: LockRecord, waiter: _Waiter) -> None:
+        """Re-issue a remote acquire whose routing message was
+        abandoned because its destination was declared dead.
+
+        By the time a send is abandoned the declaration has already
+        run :meth:`remove_node`, so the record's manager and token
+        placement are repaired; the waiter simply retries against the
+        new topology.
+        """
+        if waiter.node in self.dead:
+            return
+        self._remote_acquire(rec, waiter)
+
 
 class DistributedLocks(DsmLocks):
     """The paper's token-forwarding lock (TreadMarks §2.1)."""
@@ -268,7 +399,9 @@ class DistributedLocks(DsmLocks):
                       kind=MsgKind.LOCK_REQUEST,
                       data_kind=DataKind.CONSISTENCY,
                       on_delivered=lambda _t, r=rec, w=waiter:
-                      self._at_manager(r, w))
+                      self._at_manager(r, w),
+                      on_abandoned=lambda _t, r=rec, w=waiter:
+                      self._reroute(r, w))
 
     def _at_manager(self, rec: LockRecord, waiter: _Waiter) -> None:
         target = self._probable_owner[rec.lock_id]
@@ -280,7 +413,9 @@ class DistributedLocks(DsmLocks):
                       kind=MsgKind.LOCK_FORWARD,
                       data_kind=DataKind.CONSISTENCY,
                       on_delivered=lambda _t:
-                      self._enqueue_at_holder(rec, waiter))
+                      self._enqueue_at_holder(rec, waiter),
+                      on_abandoned=lambda _t, r=rec, w=waiter:
+                      self._reroute(r, w))
 
 
 #: Back-compat alias: the token algorithm is the historical class.
@@ -306,9 +441,13 @@ class McsLocks(DsmLocks):
                       kind=MsgKind.LOCK_REQUEST,
                       data_kind=DataKind.CONSISTENCY,
                       on_delivered=lambda _t, r=rec, w=waiter:
-                      self._swap_at_home(r, w))
+                      self._swap_at_home(r, w),
+                      on_abandoned=lambda _t, r=rec, w=waiter:
+                      self._reroute(r, w))
 
     def _swap_at_home(self, rec: LockRecord, waiter: _Waiter) -> None:
+        if waiter.node in self.dead:
+            return  # requester crashed while the swap was in flight
         if rec.available:
             # Lock at rest: the home redirects to the resting token,
             # exactly like the token algorithm's forward.
@@ -320,7 +459,9 @@ class McsLocks(DsmLocks):
                           kind=MsgKind.LOCK_FORWARD,
                           data_kind=DataKind.CONSISTENCY,
                           on_delivered=lambda _t:
-                          self._enqueue_at_holder(rec, waiter))
+                          self._enqueue_at_holder(rec, waiter),
+                          on_abandoned=lambda _t, r=rec, w=waiter:
+                          self._reroute(r, w))
             return
 
         # Busy: the swap appoints the previous tail as predecessor.
@@ -362,9 +503,13 @@ class TicketLocks(DsmLocks):
                       kind=MsgKind.LOCK_REQUEST,
                       data_kind=DataKind.CONSISTENCY,
                       on_delivered=lambda _t, r=rec, w=waiter:
-                      self._at_home(r, w))
+                      self._at_home(r, w),
+                      on_abandoned=lambda _t, r=rec, w=waiter:
+                      self._reroute(r, w))
 
     def _at_home(self, rec: LockRecord, waiter: _Waiter) -> None:
+        if waiter.node in self.dead:
+            return  # requester crashed while its ticket was in flight
         if rec.available:
             target = rec.token_node
             if target == rec.manager:
@@ -374,7 +519,9 @@ class TicketLocks(DsmLocks):
                           kind=MsgKind.LOCK_FORWARD,
                           data_kind=DataKind.CONSISTENCY,
                           on_delivered=lambda _t:
-                          self._enqueue_at_holder(rec, waiter))
+                          self._enqueue_at_holder(rec, waiter),
+                          on_abandoned=lambda _t, r=rec, w=waiter:
+                          self._reroute(r, w))
             return
         rec.queue.append(waiter)
 
@@ -384,13 +531,20 @@ class TicketLocks(DsmLocks):
         # Home-mediated handoff: notify home, home names the next
         # ticket holder, the releaser grants.
         rec.in_transit = True
+        rec.notify_node = node
+        epoch = rec.repair_epoch
 
         def home_replied(_t: int) -> None:
+            if rec.repair_epoch != epoch:
+                return  # crash repair restarted this handoff
             rec.in_transit = False
+            rec.notify_node = None
             if rec.queue:
                 self._grant(rec, rec.queue.popleft())
 
         def at_home(_t: int) -> None:
+            if rec.repair_epoch != epoch:
+                return
             self.net.send(rec.manager, node, self.request_payload_bytes,
                           kind=MsgKind.LOCK_FORWARD,
                           data_kind=DataKind.CONSISTENCY,

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.check.checker import DsmChecker, active_check_config
 from repro.dsm.diff import estimate_wire_bytes
@@ -85,6 +85,10 @@ class _FaultJob:
     apply_cycles: int = 0
     started: int = 0      # fault start time (for tracing)
     remote: bool = False  # needed remote diffs (for tracing)
+    #: Creators with a diff response still owed; recovery strikes a
+    #: dead creator from this set, and a straggler response from a
+    #: struck creator must not double-decrement ``outstanding``.
+    creators: Set[int] = field(default_factory=set)
 
 
 class TreadMarksDsm:
@@ -112,6 +116,12 @@ class TreadMarksDsm:
         self.pages = [NodePages(i, space.total_pages) for i in range(n)]
         self._grant_snapshots: Dict[Tuple[int, int], Deque[VectorClock]] = {}
         self._inflight: Dict[Tuple[int, int], _FaultJob] = {}
+        #: Nodes declared failed by recovery; excluded from clock
+        #: merges, eager pushes, and fault targets.
+        self.dead: Set[int] = set()
+        #: Mutable barrier-manager seat; starts at the configured node
+        #: and moves to the lowest-id survivor if that node dies.
+        self.barrier_manager = config.barrier_manager_node
         #: Optional hook called as ``hook(node, page)`` whenever a
         #: node's copy of a page is refreshed with remote data; the HS
         #: machine uses it to invalidate stale lines in node caches.
@@ -218,15 +228,17 @@ class TreadMarksDsm:
     # barrier consistency plumbing
     # ==================================================================
     def _arrive_payload(self, node: int) -> int:
-        mgr = self.config.barrier_manager_node
+        mgr = self.barrier_manager
         self.counters.write_notices_sent += self.log.notices_between(
             self.vcs[mgr], self.vcs[node])
         return self.log.consistency_bytes(self.vcs[mgr], self.vcs[node])
 
     def _merge_all_clocks(self) -> None:
         self.counters.barriers += 1
-        merged = self.vcs[self.config.barrier_manager_node].copy()
-        for vc in self.vcs:
+        merged = self.vcs[self.barrier_manager].copy()
+        for i, vc in enumerate(self.vcs):
+            if i in self.dead:
+                continue
             merged.merge(vc)
         self._merged_vc = merged
 
@@ -368,7 +380,8 @@ class TreadMarksDsm:
                            self.engine.now, track=f"node{node}.dsm",
                            page=page)
 
-        creators = {c: b for c, b in pend.by_creator.items() if c != node}
+        creators = {c: b for c, b in pend.by_creator.items()
+                    if c != node and c not in self.dead}
         if not creators:
             # Invalidated only by own stale state; revalidate locally.
             self._finish_fault(job, self.engine.now + fault_cost)
@@ -381,6 +394,7 @@ class TreadMarksDsm:
             by_creator_intervals.setdefault(creator, []).append(index)
 
         job.outstanding = len(creators)
+        job.creators = set(creators)
         request_time = self.engine.now + fault_cost
         for creator, wire_bytes in creators.items():
             indices = by_creator_intervals.get(creator, [])
@@ -416,11 +430,18 @@ class TreadMarksDsm:
         self.net.send(creator, job.node, wire_bytes,
                       kind=MsgKind.DIFF_RESPONSE, data_kind=DataKind.MISS,
                       now=ready,
-                      on_delivered=lambda t, w=wire_bytes:
-                      self._diff_arrived(job, w, t))
+                      on_delivered=lambda t, c=creator, w=wire_bytes:
+                      self._diff_arrived(job, c, w, t))
 
-    def _diff_arrived(self, job: _FaultJob, wire_bytes: int,
-                      time: int) -> None:
+    def _diff_arrived(self, job: _FaultJob, creator: int,
+                      wire_bytes: int, time: int) -> None:
+        if creator not in job.creators:
+            # Straggler: recovery already struck this creator from the
+            # job (it was declared dead with the response in flight).
+            # The decrement happened then; doing it again would let the
+            # fault finish before a still-owed survivor responds.
+            return
+        job.creators.discard(creator)
         apply_cost = self.overhead.diff_apply_cost(wire_bytes)
         job.apply_cycles += apply_cost
         tracer = self.engine.tracer
@@ -486,7 +507,8 @@ class TreadMarksDsm:
             self.counters.diff_bytes_created += changed
             self.pages[node].consume_twin(page)
             for other in range(self.config.num_nodes):
-                if other == node or not self.pages[other].is_valid(page):
+                if (other == node or other in self.dead or
+                        not self.pages[other].is_valid(page)):
                     continue
                 if self.checker is not None:
                     self.checker.on_eager_push(other, interval, page)
@@ -505,6 +527,111 @@ class TreadMarksDsm:
         if self.page_refreshed_hook is not None:
             for page in interval.pages:
                 self.page_refreshed_hook(other, page)
+
+    # ==================================================================
+    # crash-stop recovery (repro.recover)
+    # ==================================================================
+    def fail_node(self, node: int, now: int) -> None:
+        """Repair the protocol after ``node`` is declared dead.
+
+        Invoked (once per node) by the
+        :class:`~repro.recover.RecoveryManager` at declaration time.
+        Repair order matters: clocks are sealed first so no later step
+        can re-introduce a dependency on the dead node's intervals,
+        then lock records are regenerated, pages re-homed or written
+        off, and finally barrier membership shrinks to the survivors.
+        """
+        n = self.config.num_nodes
+        self.dead.add(node)
+        alive = [i for i in range(n) if i not in self.dead]
+        tracer = self.engine.tracer
+
+        # 1. Seal vector clocks: every survivor marks the dead node's
+        # closed intervals as seen.  Notices for those intervals will
+        # never be applied again — updates the dead node had not yet
+        # made visible through a sync operation are lost, exactly the
+        # crash-stop guarantee LRC can offer (nothing weaker than what
+        # an acquirer had already been granted).
+        final_index = self.vcs[node][node]
+        for x in alive:
+            if self.vcs[x][node] < final_index:
+                self.vcs[x][node] = final_index
+
+        # 2. Regenerate lock state (token relocation, queue repair).
+        self.counters.locks_regenerated += self.locks.remove_node(
+            node, now)
+
+        # 3. Strip the dead creator from every survivor's pending-diff
+        # sets; pages left with no other source are re-homed from a
+        # surviving valid copy, or written off as lost.
+        emptied: List[Tuple[int, int]] = []
+        for x in alive:
+            table = self.pages[x]
+            for page in list(table.pending):
+                pend = table.pending[page]
+                if node not in pend.by_creator:
+                    continue
+                del pend.by_creator[node]
+                pend.intervals = [(c, i) for c, i in pend.intervals
+                                  if c != node]
+                if not pend.by_creator:
+                    del table.pending[page]
+                    emptied.append((x, page))
+        for x, page in emptied:
+            source = next((y for y in alive
+                           if y != x and self.pages[y].is_valid(page)),
+                          None)
+            self.pages[x].revalidate(page)
+            if source is None:
+                # The only reconstruction source died with the node.
+                self.counters.pages_lost += 1
+                if tracer.enabled:
+                    tracer.instant(x, Category.RECOVERY, "page_lost",
+                                   now, track=f"node{x}.dsm",
+                                   page=page, creator=node)
+                continue
+            self.counters.pages_rehomed += 1
+            self.net.send(
+                x, source, self.config.request_payload_bytes,
+                kind=MsgKind.PAGE_REQUEST,
+                data_kind=DataKind.CONSISTENCY, now=now,
+                on_delivered=lambda t, s=source, d=x, p=page:
+                self.net.send(s, d, self.config.page_bytes,
+                              kind=MsgKind.PAGE_RESPONSE,
+                              data_kind=DataKind.MISS, now=t,
+                              on_delivered=lambda t2, d2=d, p2=p:
+                              self._rehomed(d2, p2)))
+
+        # 4. In-flight fault jobs: drop the dead node's own, strike it
+        # from survivors' outstanding sets.
+        for key in [k for k in self._inflight if k[0] == node]:
+            del self._inflight[key]
+        for job in list(self._inflight.values()):
+            if node in job.creators:
+                job.creators.discard(node)
+                job.outstanding -= 1
+                if job.outstanding == 0:
+                    self._finish_fault(job, now)
+
+        # 5. Shrink barrier membership n → n−1 (and move the manager
+        # seat off the dead node).
+        if self.barrier_manager == node and alive:
+            self.barrier_manager = min(alive)
+        self.counters.barrier_reconfigs += self.barrier.remove_node(
+            node, now)
+
+        if self.checker is not None:
+            self.checker.on_node_failed(node)
+
+    def _rehomed(self, node: int, page: int) -> None:
+        """A re-homed page copy landed in node memory."""
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(node, Category.RECOVERY, "page_rehomed",
+                           self.engine.now, track=f"node{node}.dsm",
+                           page=page)
+        if self.page_refreshed_hook is not None:
+            self.page_refreshed_hook(node, page)
 
     # ==================================================================
     def node_stats(self) -> List[Dict[str, int]]:

@@ -29,14 +29,26 @@ class DeadlockError(SimulationError):
     The progress watchdog raises it too, for the silent variant: events
     keep firing but no processor has issued an operation for a long
     window of simulated time.  ``now`` and ``reason`` carry the
-    diagnostics (sim time of detection, what tripped).
+    diagnostics (sim time of detection, what tripped); on a
+    fault-injected run, ``suspect`` names the node the reliable layer
+    was retransmitting to hardest when progress stopped, and ``trail``
+    carries a bounded, replayable slice of its recent delivery events
+    (parity with :class:`ConsistencyViolation`).  ``run_id`` correlates
+    with the provenance ledger when a session is active.
     """
 
     def __init__(self, blocked: list, *, now: int = None,
-                 reason: str = None) -> None:
+                 reason: str = None, suspect: int = None,
+                 trail=()) -> None:
         self.blocked = list(blocked)
         self.now = now
         self.reason = reason
+        self.suspect = suspect
+        self.trail = tuple(trail)
+        # Lazy import: errors is imported by everything, including the
+        # ledger package itself.
+        from repro.ledger import current_run_id
+        self.run_id = current_run_id()
         names = ", ".join(str(b) for b in self.blocked)
         msg = "simulation deadlocked"
         if reason:
@@ -44,6 +56,13 @@ class DeadlockError(SimulationError):
         msg += f"; blocked tasks: {names or 'none registered'}"
         if now is not None:
             msg += f" at cycle {now}"
+        if suspect is not None:
+            msg += f"; suspected node: {suspect}"
+        if self.run_id is not None:
+            msg += f" [run {self.run_id}]"
+        if self.trail:
+            msg += (f" (trail: {len(self.trail)} preceding network "
+                    f"events attached)")
         super().__init__(msg)
 
 
@@ -53,19 +72,52 @@ class NetworkPartitionError(SimulationError):
     Raised by :class:`repro.net.reliable.ReliableNetwork` when every
     attempt to deliver one message was dropped by the fault plane: the
     destination is treated as unreachable and the run fails loudly
-    instead of retrying forever.
+    instead of retrying forever.  (When a crash plan is armed and the
+    destination really did crash, ``repro.recover`` intercepts this
+    verdict and the run continues degraded instead.)  ``suspect``
+    duplicates ``dst`` under the common diagnostic name, and ``trail``
+    carries a bounded slice of the reliable layer's recent delivery
+    events — the replayable context of the exhausted retry chain.
     """
 
     def __init__(self, src: int, dst: int, kind: str, attempts: int,
-                 now: int) -> None:
+                 now: int, *, trail=()) -> None:
         self.src = src
         self.dst = dst
         self.kind = kind
         self.attempts = attempts
         self.now = now
+        self.suspect = dst
+        self.trail = tuple(trail)
+        from repro.ledger import current_run_id
+        self.run_id = current_run_id()
+        msg = (f"node {dst} unreachable from node {src}: {kind} message "
+               f"lost {attempts} times (retries exhausted) at cycle {now}")
+        if self.run_id is not None:
+            msg += f" [run {self.run_id}]"
+        if self.trail:
+            msg += (f" (trail: {len(self.trail)} preceding network "
+                    f"events attached)")
+        super().__init__(msg)
+
+
+class WorkerCrashError(ReproError):
+    """Pool worker processes died repeatedly on the same run specs.
+
+    Raised by :func:`repro.harness.parallel.execute_plan` after the
+    self-healing pool respawned workers and retried each suspect spec
+    individually up to its retry budget; ``labels`` names the specs
+    still crashing (quarantined), which is the set a human needs to
+    reproduce the failure serially.
+    """
+
+    def __init__(self, labels, retries: int) -> None:
+        self.labels = list(labels)
+        self.retries = retries
         super().__init__(
-            f"node {dst} unreachable from node {src}: {kind} message "
-            f"lost {attempts} times (retries exhausted) at cycle {now}")
+            f"pool workers crashed on {len(self.labels)} spec(s) even "
+            f"after {retries} isolated attempt(s) each; quarantined: "
+            + ", ".join(self.labels))
 
 
 class ProtocolError(SimulationError):

@@ -54,7 +54,10 @@ from repro.stats.result import RunResult
 #: v3: synchronization design space — the Counters schema grew
 #: lock-wait/hold and combining-hit fields, so pre-sync entries would
 #: replay with silently-zero counters.
-CACHE_VERSION = 3
+#: v4: crash-stop recovery — Counters grew detection/recovery fields
+#: and RunResult grew ``degraded``; pre-recovery entries would replay
+#: with silently-zero recovery metadata.
+CACHE_VERSION = 4
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

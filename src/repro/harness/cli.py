@@ -43,11 +43,12 @@ from typing import List, Optional
 from repro import (ConfigurationError, ResultCache, Scale, run_context,
                    trace_session)
 from repro.harness.cache import default_cache_dir, default_ledger_path
-from repro.harness.experiments import (REGISTRY, fault_sweep_options,
+from repro.harness.experiments import (REGISTRY, failure_sweep_options,
+                                       fault_sweep_options,
                                        list_experiments, run_experiment,
                                        sync_sweep_options)
 from repro.ledger import Ledger, ledger_session
-from repro.net.faults import parse_schedule
+from repro.net.faults import parse_crashes, parse_schedule
 from repro.trace import write_chrome_trace, write_metrics_jsonl
 
 
@@ -85,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault-sweep: targeted fault rules, e.g. "
                              "'drop:diff_request:src=2:nth=3; "
                              "dup:lock_grant'")
+    runner.add_argument("--crash", default=None, metavar="SPEC",
+                        help="failure-sweep: explicit crash-stop "
+                             "events, e.g. 'crash@node3:t=500000; "
+                             "crash@node1:t=2000000:rejoin=9000000' "
+                             "(overrides the --crash-frac grid)")
+    runner.add_argument("--crash-frac", type=float, action="append",
+                        dest="crash_fracs", metavar="F", default=None,
+                        help="failure-sweep: crash the last node at "
+                             "fraction F of the clean run (repeatable; "
+                             "default: 0.25 and 0.5)")
+    runner.add_argument("--detect-cycles", type=int, default=None,
+                        metavar="N",
+                        help="failure-sweep: keepalive backstop — a "
+                             "crashed node is declared dead within N "
+                             "cycles even without retransmission "
+                             "traffic (default: 1000000)")
     runner.add_argument("--sync-lock", action="append",
                         dest="sync_locks", metavar="ALG", default=None,
                         help="sync-sweep: lock algorithm to include "
@@ -275,6 +292,23 @@ def _fault_overrides(args: argparse.Namespace, ids: List[str]):
     return overrides or None
 
 
+def _failure_overrides(args: argparse.Namespace, ids: List[str]):
+    """Build failure_sweep_options kwargs from CLI flags (or None)."""
+    overrides = {}
+    if args.crash is not None:
+        overrides["crashes"] = parse_crashes(args.crash)
+    if args.crash_fracs is not None:
+        overrides["fracs"] = tuple(args.crash_fracs)
+    if args.detect_cycles is not None:
+        overrides["detect_cycles"] = args.detect_cycles
+    if overrides and "failure-sweep" not in ids:
+        raise ConfigurationError(
+            "--crash/--crash-frac/--detect-cycles parameterize the "
+            "'failure-sweep' experiment, which is not among the ids "
+            "to run")
+    return overrides or None
+
+
 def _sync_overrides(args: argparse.Namespace, ids: List[str]):
     """Build sync_sweep_options kwargs from CLI flags (or None)."""
     overrides = {}
@@ -301,6 +335,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     try:
         fault_overrides = _fault_overrides(args, ids)
+        failure_overrides = _failure_overrides(args, ids)
         sync_overrides = _sync_overrides(args, ids)
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
@@ -321,9 +356,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     fault_ctx = (fault_sweep_options(**fault_overrides)
                  if fault_overrides else contextlib.nullcontext())
+    failure_ctx = (failure_sweep_options(**failure_overrides)
+                   if failure_overrides else contextlib.nullcontext())
     sync_ctx = (sync_sweep_options(**sync_overrides)
                 if sync_overrides else contextlib.nullcontext())
-    with fault_ctx, sync_ctx, ledger_session(ledger), \
+    with fault_ctx, failure_ctx, sync_ctx, ledger_session(ledger), \
             run_context(jobs=args.jobs, cache=cache, ledger=ledger,
                         quiet=args.quiet):
         if args.metrics_out:

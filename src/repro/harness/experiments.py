@@ -22,7 +22,7 @@ from repro.harness.workloads import (EXPERIMENTAL_PROCS, SIMULATED_PROCS,
 from repro.machines import (AllHardwareMachine, AllSoftwareMachine,
                             DecTreadMarksMachine, HybridMachine, SgiMachine,
                             make_machine)
-from repro.net.faults import FaultPlan, FaultRule
+from repro.net.faults import CrashEvent, FaultPlan, FaultRule
 from repro.net.overhead import OVERHEAD_SWEEP
 from repro.stats.result import SpeedupSeries
 from repro.sync import BARRIER_ALGORITHMS, LOCK_ALGORITHMS, SyncPolicy
@@ -721,6 +721,160 @@ def run_fault_sweep(scale: Scale) -> Report:
 
 
 # ======================================================================
+# Robustness: the failure sweep (crash-stop recovery)
+# ======================================================================
+
+#: Fractions of the *clean* run's length at which the crash lands —
+#: early (recovery cost amortized over most of the run) and midway.
+DEFAULT_CRASH_FRACS: Tuple[float, ...] = (0.25, 0.5)
+
+#: One barrier-structured and one lock-structured workload; crashes
+#: stress the two recovery paths (barrier reconfiguration vs lock
+#: token regeneration) differently.
+FAILURE_SWEEP_WORKLOADS: Tuple[str, ...] = ("sor_sim", "tsp19")
+
+#: The two software-DSM simulated architectures.  Hardware machines
+#: reject crash plans outright (no recovery story), so they are not
+#: sweepable here.
+FAILURE_SWEEP_MACHINES: Tuple[str, ...] = ("as", "hs")
+
+
+@dataclass(frozen=True)
+class FailureSweepOptions:
+    """Parameters of the ``failure-sweep`` experiment.
+
+    ``crashes`` (the CLI's ``--crash``) overrides the derived schedule:
+    when non-empty, every cell runs with exactly these events instead
+    of one crash at each ``fracs`` fraction of the clean run.
+    """
+
+    fracs: Tuple[float, ...] = DEFAULT_CRASH_FRACS
+    workloads: Tuple[str, ...] = FAILURE_SWEEP_WORKLOADS
+    machines: Tuple[str, ...] = FAILURE_SWEEP_MACHINES
+    crashes: Tuple[CrashEvent, ...] = ()
+    detect_cycles: int = 1_000_000
+
+
+_failure_options: List[FailureSweepOptions] = []
+
+
+@contextmanager
+def failure_sweep_options(**kwargs):
+    """Ambient overrides for ``failure-sweep`` (mirrors ``run_context``)."""
+    opts = FailureSweepOptions(**kwargs)
+    _failure_options.append(opts)
+    try:
+        yield opts
+    finally:
+        _failure_options.pop()
+
+
+def current_failure_options() -> FailureSweepOptions:
+    return _failure_options[-1] if _failure_options else FailureSweepOptions()
+
+
+def _sweep_num_nodes(mname: str, machine, procs: int) -> int:
+    """DSM node count of a sweep cell (crash targets are *nodes*)."""
+    if mname == "hs":
+        per_node = machine.params.procs_per_node
+        return max(1, procs // per_node)
+    return procs
+
+
+@_register("failure-sweep",
+           "Degraded completion under crash-stop node failures",
+           "robustness",
+           "Every crashed cell completes degraded on n-1 nodes with "
+           "byte-identical summaries across serial/pool/warm-cache; "
+           "detection latency is bounded by the keepalive backstop and "
+           "recovery counters (pages rehomed/lost, locks regenerated, "
+           "barrier reconfigs) come out non-zero.")
+def run_failure_sweep(scale: Scale) -> Report:
+    opts = current_failure_options()
+    procs = max(SIMULATED_PROCS[scale])
+
+    # Phase 1: the clean cells.  These coincide (fingerprints and all)
+    # with fig9/fig10 points, so a warm cache serves them; their cycle
+    # counts deterministically place the crashes of phase 2.
+    clean_plan = RunPlan()
+    clean_layout = []
+    for mname in opts.machines:
+        for workload in opts.workloads:
+            app = make_app(workload, scale)
+            machine = make_machine(mname)
+            base_index = clean_plan.add(machine, app, 1)
+            clean_index = clean_plan.add(machine, app, procs)
+            clean_layout.append((mname, workload, base_index, clean_index))
+    clean_results = execute_plan(clean_plan)
+
+    # Phase 2: the crashed cells.  Unless --crash pinned an explicit
+    # schedule, the last DSM node crashes at each configured fraction
+    # of the clean run — a pure function of phase 1, so the whole
+    # sweep stays deterministic and cacheable.
+    plan = RunPlan()
+    layout = []
+    for mname, workload, base_index, clean_index in clean_layout:
+        clean = clean_results[clean_index]
+        app = make_app(workload, scale)
+        num_nodes = _sweep_num_nodes(mname, make_machine(mname), procs)
+        if num_nodes < 2:
+            continue                  # no survivor would remain
+        if opts.crashes:
+            schedules = [("explicit", opts.crashes)]
+        else:
+            schedules = [
+                (f"{frac:g}",
+                 (CrashEvent(num_nodes - 1, int(frac * clean.cycles)),))
+                for frac in opts.fracs]
+        for tag, crashes in schedules:
+            faults = FaultPlan(crashes=crashes,
+                               detect_cycles=opts.detect_cycles)
+            machine = make_machine(mname, faults=faults)
+            index = plan.add(machine, app, procs)
+            layout.append((mname, workload, tag, crashes, base_index,
+                           clean_index, index))
+    results = execute_plan(plan)
+
+    rows = []
+    data: Dict[str, Dict] = {}
+    for (mname, workload, tag, crashes, base_index, clean_index,
+         index) in layout:
+        base = clean_results[base_index]
+        clean = clean_results[clean_index]
+        r = results[index]
+        c = r.counters
+        degraded = r.degraded or {}
+        speedup = base.seconds / r.seconds
+        clean_speedup = base.seconds / clean.seconds
+        rows.append([mname, workload, tag,
+                     len(degraded.get("failed_nodes", ())),
+                     speedup, clean_speedup, c.detection_cycles,
+                     c.pages_rehomed, c.pages_lost, c.locks_regenerated,
+                     c.barrier_reconfigs])
+        data.setdefault(workload, {}).setdefault(mname, {})[tag] = {
+            "speedup": speedup,
+            "clean_speedup": clean_speedup,
+            "degraded": degraded,
+            "crashes": [{"node": e.node, "at": e.at, "rejoin": e.rejoin}
+                        for e in crashes],
+            "detection_cycles": c.detection_cycles,
+            "pages_rehomed": c.pages_rehomed,
+            "pages_lost": c.pages_lost,
+            "locks_regenerated": c.locks_regenerated,
+            "barrier_reconfigs": c.barrier_reconfigs,
+        }
+    report = Report("failure-sweep",
+                    f"Crash-stop recovery at {procs} processors "
+                    f"(detect backstop {opts.detect_cycles} cycles)")
+    report.lines = fmt.format_table(
+        ["machine", "program", "crash", "failed", "degraded sp",
+         "clean sp", "detect cyc", "rehomed", "lost", "locks",
+         "barriers"], rows)
+    report.data = data
+    return report
+
+
+# ======================================================================
 # The synchronization design space: the sync sweep
 # ======================================================================
 
@@ -860,5 +1014,5 @@ def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
 def list_experiments() -> List[Experiment]:
     order = (["t1", "t2"] + [f"fig{i}" for i in range(1, 17)] +
              ["x1", "x2", "x3", "x4", "a1", "a2", "a3", "fault-sweep",
-              "sync-sweep"])
+              "failure-sweep", "sync-sweep"])
     return [REGISTRY[k] for k in order if k in REGISTRY]

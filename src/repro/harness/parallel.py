@@ -92,6 +92,7 @@ from multiprocessing.shared_memory import SharedMemory
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.apps.base import Application
+from repro.errors import WorkerCrashError
 from repro.harness.cache import ResultCache, run_key
 from repro.ledger import Ledger, active_ledger, run_record, run_scope
 from repro.machines.base import Machine
@@ -425,20 +426,46 @@ def _execute_traced(specs: Sequence[RunSpec],
     return results  # type: ignore[return-value]
 
 
+#: Isolated attempts a spec gets after a worker crash before it is
+#: quarantined and the plan fails with :class:`WorkerCrashError`.
+MAX_WORKER_RETRIES = 3
+
+
 def _execute_pooled(work: Sequence[Tuple[str, RunSpec]],
                     run_id_of: Any, produced: Dict[str, RunResult],
                     walls: Dict[str, float], progress_done: Any,
-                    workers: int) -> None:
+                    workers: int, on_worker_crash: Any = None) -> None:
     """Run the work list on the persistent pool.
 
     The ``(specs, run_ids)`` payload travels once through shared
     memory; each dispatched future carries only work-list indices.
     Results stream back per batch and are merged under their content
     keys as batches complete.
+
+    The pool self-heals: a worker dying (OOM kill, segfault, an
+    ``os._exit`` in application code) poisons the whole executor, so
+    the broken pool is torn down, a fresh one is spawned, and every
+    run that had not reported back is retried *individually* — one
+    spec per dispatch — which both re-runs the innocent casualties of
+    the shared batch and isolates the culprit.  A spec that keeps
+    killing workers is quarantined after :data:`MAX_WORKER_RETRIES`
+    isolated attempts and the plan fails with
+    :class:`~repro.errors.WorkerCrashError` naming it; each failed
+    attempt is reported through ``on_worker_crash(key, spec, error)``
+    so the provenance ledger records attempts that produced no result.
     """
     specs = [spec for _key, spec in work]
     run_ids = [run_id_of(key) for key, _spec in work]
     env = {name: os.environ.get(name) for name in SHIPPED_ENV}
+    completed: set = set()
+
+    def merge(i: int, result: RunResult, wall: float) -> None:
+        key, spec = work[i]
+        completed.add(i)
+        produced[key] = result
+        walls[key] = wall
+        progress_done(key, spec)
+
     pool = _ensure_pool(workers)
     shm, nbytes = _publish_plan((specs, run_ids))
     try:
@@ -449,19 +476,48 @@ def _execute_pooled(work: Sequence[Tuple[str, RunSpec]],
             finished, outstanding = wait(outstanding,
                                          return_when=FIRST_COMPLETED)
             for future in finished:
-                for i, result, wall in future.result():
-                    key, spec = work[i]
-                    produced[key] = result
-                    walls[key] = wall
-                    progress_done(key, spec)
+                try:
+                    rows = future.result()
+                except BrokenProcessPool:
+                    continue  # survivors handled by the retry pass
+                for i, result, wall in rows:
+                    merge(i, result, wall)
     except BrokenProcessPool:
-        # A dead worker poisons the executor; discard it so the next
-        # plan gets a fresh pool instead of failing forever.
-        shutdown_pool()
-        raise
+        pass  # fall through to the retry pass
     finally:
         shm.close()
         shm.unlink()
+
+    remaining = [i for i in range(len(work)) if i not in completed]
+    if not remaining:
+        return
+    if _POOL is None or getattr(_POOL, "_broken", False):
+        shutdown_pool()
+    quarantined: List[str] = []
+    for i in remaining:
+        key, spec = work[i]
+        for attempt in range(1, MAX_WORKER_RETRIES + 1):
+            pool = _ensure_pool(workers)
+            shm, nbytes = _publish_plan(([spec], [run_id_of(key)]))
+            try:
+                rows = pool.submit(_run_batch, shm.name, nbytes,
+                                   [0], env).result()
+                merge(i, rows[0][1], rows[0][2])
+                break
+            except BrokenProcessPool:
+                shutdown_pool()
+                if on_worker_crash is not None:
+                    on_worker_crash(
+                        key, spec,
+                        f"worker process died (isolated attempt "
+                        f"{attempt}/{MAX_WORKER_RETRIES})")
+            finally:
+                shm.close()
+                shm.unlink()
+        else:
+            quarantined.append(_spec_label(spec))
+    if quarantined:
+        raise WorkerCrashError(quarantined, MAX_WORKER_RETRIES)
 
 
 def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
@@ -557,6 +613,21 @@ def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
                             f"wall={walls[key]:.2f}s "
                             f"({done}/{total})\n")
 
+    def on_worker_crash(key: str, spec: RunSpec, error: str) -> None:
+        # A crashed worker produced no RunResult, but the attempt
+        # still happened: append a result-less record so the ledger's
+        # attempt chain shows the failures leading to the retry (or to
+        # quarantine).  The eventual successful retry keeps the run_id
+        # originally assigned to this key.
+        if ledger is None:
+            return
+        crash_id, attempt = ledger.next_run_id(key)
+        ledger.append(run_record(
+            run_id=crash_id, key=key, attempt=attempt,
+            machine=spec.machine, app=spec.app, nprocs=spec.nprocs,
+            seed=spec.seed, params=spec.params, result=None,
+            path="worker-crash", executor="pool", error=error))
+
     workers = effective_workers(jobs, len(work))
     pooled = workers > 1
     previous_progress = os.environ.get(PROGRESS_ENV)
@@ -565,7 +636,8 @@ def execute_plan(plan: RunPlan, *, jobs: Optional[int] = None,
     try:
         if pooled:
             _execute_pooled(work, run_id_of, produced, walls,
-                            progress_done, workers)
+                            progress_done, workers,
+                            on_worker_crash=on_worker_crash)
         else:
             for key, spec in work:
                 produced[key], walls[key] = _run_spec(spec,

@@ -158,7 +158,8 @@ def run_record(*, run_id: str, key: str, attempt: int,
                params: Optional[Dict[str, Any]],
                result: Any, path: str, executor: str,
                wall_s: Optional[float] = None,
-               produced_by: Optional[str] = None) -> Dict[str, Any]:
+               produced_by: Optional[str] = None,
+               error: Optional[str] = None) -> Dict[str, Any]:
     """Build the full provenance record for one run attempt.
 
     ``machine``/``app``/``result`` are duck-typed (Machine,
@@ -205,6 +206,10 @@ def run_record(*, run_id: str, key: str, attempt: int,
         record["produced_by"] = produced_by
     if wall_s is not None:
         record["wall_s"] = round(float(wall_s), 6)
+    if error is not None:
+        # Failed attempts (a crashed pool worker) have no result; the
+        # record preserves that the attempt happened and why it died.
+        record["error"] = error
     if result is not None:
         record["cycles"] = int(result.cycles)
         record["events"] = int(result.events)

@@ -47,6 +47,10 @@ class Runtime(OpHandler):
         self.nprocs = nprocs
         self.bound = SharedBound(bound_mode, nprocs,
                                  push_latency_cycles=bound_push_latency)
+        #: Set by software machines when the fault plan schedules
+        #: crashes; :meth:`Machine.run` reads the degraded verdict off
+        #: it after the engine drains.
+        self.recovery = None
 
     # ------------------------------------------------------------------
     def handle(self, task: ProcTask, op: Any) -> None:
@@ -291,6 +295,13 @@ class Machine:
 
         runtime = self.build_runtime(engine, space, counters, nprocs)
         self.last_runtime = runtime
+        recovery = getattr(runtime, "recovery", None)
+        if recovery is not None:
+            # Crash declarations repair the DSM stack; the application
+            # hook lets the workload retire the dead procs' share of
+            # its run state too (work-queue termination counts etc.).
+            recovery.app_hooks.append(
+                lambda node, procs, _now: app.on_node_failed(ctx, procs))
 
         programs = app.programs(ctx)
         if len(programs) != nprocs:
@@ -308,6 +319,12 @@ class Machine:
             runtime.finish_run()
 
         cycles = max((t.finish_time or 0) for t in tasks)
+        degraded = recovery.degraded_info() if recovery is not None else None
+        if degraded is not None:
+            # Tell the application's verifier which nodes died so it
+            # can apply degraded-mode acceptance (a crashed worker's
+            # partial contribution is legitimately absent).
+            ctx.params["_failed_nodes"] = list(degraded["failed_nodes"])
         output = app.verify(ctx)
         output.update(ctx.output)
         breakdown = None
@@ -328,6 +345,7 @@ class Machine:
             events=engine.events_processed,
             breakdown=breakdown,
             run_id=run_id,
+            degraded=degraded,
         )
         if ledger is not None:
             ledger.append(run_record(

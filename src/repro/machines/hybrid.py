@@ -29,6 +29,7 @@ from repro.net.atm import AtmNetwork
 from repro.net.bus import BusModel
 from repro.net.faults import FaultPlan
 from repro.net.reliable import ReliableNetwork
+from repro.recover import RecoveryManager
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
@@ -241,6 +242,15 @@ class HybridMachine(Machine):
             local_grant_cycles=p.lock_handoff_cycles,
             sync=self.sync,
         ))
-        return HybridRuntime(engine, space, counters, nprocs,
-                             params=p, net=net, dsm=dsm,
-                             num_nodes=num_nodes)
+        runtime = HybridRuntime(engine, space, counters, nprocs,
+                                params=p, net=net, dsm=dsm,
+                                num_nodes=num_nodes)
+        if self.faults is not None and self.faults.crashes:
+            # A node crash takes every co-resident processor with it.
+            manager = RecoveryManager(
+                engine, net, dsm, self.faults, counters,
+                procs_of=lambda node: runtime.node_procs[node])
+            net.recovery = manager
+            runtime.recovery = manager
+            manager.arm()
+        return runtime

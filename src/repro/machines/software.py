@@ -21,6 +21,7 @@ from repro.net.atm import AtmNetwork
 from repro.net.faults import FaultPlan
 from repro.net.overhead import SoftwareOverhead
 from repro.net.reliable import ReliableNetwork
+from repro.recover import RecoveryManager
 from repro.sim.engine import Engine
 from repro.sim.task import ProcTask
 from repro.stats.counters import Counters
@@ -239,4 +240,14 @@ class PagedDsmMachine(Machine):
             net=net, dsm=dsm, cache_params=self.cache,
             bound_mode=bound_mode, bound_push_latency=push_latency,
         )
+        if self.faults is not None and self.faults.crashes:
+            # Crash-stop failures: the manager kills the node's (sole)
+            # processor at crash time and repairs the DSM stack at
+            # declaration time.
+            manager = RecoveryManager(engine, net, dsm, self.faults,
+                                      counters,
+                                      procs_of=lambda node: [node])
+            net.recovery = manager
+            runtime.recovery = manager
+            manager.arm()
         return runtime

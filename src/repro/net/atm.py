@@ -67,13 +67,18 @@ class AtmNetwork:
              now: Optional[int] = None,
              send_cpu_cycles: Optional[int] = None,
              recv_cpu_cycles: Optional[int] = None,
-             on_delivered: Optional[Callable[[int], None]] = None) -> int:
+             on_delivered: Optional[Callable[[int], None]] = None,
+             on_abandoned: Optional[Callable[[int], None]] = None) -> int:
         """Send one message; returns the delivery completion time.
 
         ``on_delivered(time)`` (if given) runs as an engine event at
         the moment the receiver's handler has finished processing the
         message.  Sending to self is free of network cost but still
         passes through the local handler (loopback sanity path).
+
+        ``on_abandoned`` is accepted for interface parity with the
+        reliable wrapper and never fires here: a perfect network has
+        no crash-stop failures, so no send is ever given up on.
 
         ``send_cpu_cycles`` / ``recv_cpu_cycles`` override the
         software-overhead CPU charges for this one message; the

@@ -97,6 +97,85 @@ class StallWindow:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Reliable-delivery retransmission knobs as one frozen value.
+
+    ``rto_multiplier`` scales the network round-trip estimate into the
+    first retransmission timeout; each further attempt multiplies the
+    timeout by ``backoff_factor`` (2.0 reproduces the classic binary
+    exponential backoff of the pre-policy code exactly, including at
+    integer cycle granularity), optionally clamped at
+    ``backoff_cap_cycles``.  After ``max_retries`` retransmissions the
+    destination is *suspected dead* — recovery takes over when a crash
+    plan is armed, otherwise a
+    :class:`~repro.errors.NetworkPartitionError` is raised.
+    """
+
+    max_retries: int = 8
+    rto_multiplier: float = 4.0
+    backoff_factor: float = 2.0
+    backoff_cap_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0: {self.max_retries}")
+        if self.rto_multiplier <= 0:
+            raise ConfigurationError(
+                f"rto_multiplier must be > 0: {self.rto_multiplier}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if (self.backoff_cap_cycles is not None and
+                self.backoff_cap_cycles < 1):
+            raise ConfigurationError(
+                f"backoff_cap_cycles must be >= 1: "
+                f"{self.backoff_cap_cycles}")
+
+    def rto_for(self, base_rto: int, attempt: int) -> int:
+        """Timeout (cycles) armed for transmission attempt ``attempt``.
+
+        ``attempt`` is 1-based: the first send waits ``base_rto``, each
+        retransmission multiplies by ``backoff_factor``, and the cap —
+        when set — bounds the wait however many attempts have failed.
+        """
+        rto = int(base_rto * self.backoff_factor ** (attempt - 1))
+        if self.backoff_cap_cycles is not None:
+            rto = min(rto, self.backoff_cap_cycles)
+        return max(1, rto)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash-stop failure of ``node`` at simulated cycle ``at``.
+
+    The node's processors halt and its host stops acknowledging
+    frames.  ``rejoin`` (optional, strictly after ``at``) restores the
+    *link* — frames addressed to the host are deliverable again — but
+    the process stays dead: membership remains n−1 and recovery is
+    never undone.  This models the realistic cluster sequence "machine
+    reboots, daemon does not", and keeps crash semantics strictly
+    crash-stop.
+    """
+
+    node: int
+    at: int
+    rejoin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError(
+                f"crash node must be >= 0: {self.node}")
+        if self.at < 0:
+            raise ConfigurationError(
+                f"crash time must be >= 0: {self.at}")
+        if self.rejoin is not None and self.rejoin <= self.at:
+            raise ConfigurationError(
+                f"crash rejoin must come after the crash: "
+                f"rejoin={self.rejoin} <= at={self.at}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, picklable description of network misbehaviour.
 
@@ -113,6 +192,16 @@ class FaultPlan:
     rto_multiplier: float = 4.0
     schedule: Tuple[FaultRule, ...] = ()
     stalls: Tuple[StallWindow, ...] = ()
+    #: Crash-stop node failures (see :class:`CrashEvent`).
+    crashes: Tuple[CrashEvent, ...] = ()
+    #: Retransmission knobs; defaults to a policy built from the
+    #: legacy ``max_retries``/``rto_multiplier`` fields so old call
+    #: sites keep behaving (and fingerprinting) exactly as before.
+    retry: Optional[RetryPolicy] = None
+    #: Keepalive backstop: when a crash plan is armed, a failed node
+    #: is *declared* dead no later than ``crash_at + detect_cycles``,
+    #: even if no retransmission chain happens to be pointed at it.
+    detect_cycles: int = 1_000_000
     #: No-progress window (sim cycles) for the engine watchdog armed
     #: whenever this plan is enabled; generous next to the worst-case
     #: backoff so only genuinely wedged runs trip it.
@@ -122,6 +211,20 @@ class FaultPlan:
         # Tolerate lists from callers/JSON; store hashable tuples.
         object.__setattr__(self, "schedule", tuple(self.schedule))
         object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        # Fold the legacy flat retry knobs and the RetryPolicy value
+        # into agreement: a policy argument wins, otherwise one is
+        # built from the flat fields.  Either way both views coincide,
+        # so fingerprints and old call sites stay stable.
+        if self.retry is None:
+            object.__setattr__(self, "retry", RetryPolicy(
+                max_retries=self.max_retries,
+                rto_multiplier=self.rto_multiplier))
+        else:
+            object.__setattr__(self, "max_retries",
+                               self.retry.max_retries)
+            object.__setattr__(self, "rto_multiplier",
+                               self.retry.rto_multiplier)
         if not 0.0 <= self.loss_rate < 1.0:
             raise ConfigurationError(
                 f"loss_rate must be in [0, 1): {self.loss_rate}")
@@ -131,12 +234,13 @@ class FaultPlan:
         if self.jitter_cycles < 0:
             raise ConfigurationError(
                 f"jitter_cycles must be >= 0: {self.jitter_cycles}")
-        if self.max_retries < 0:
+        crashed_nodes = [c.node for c in self.crashes]
+        if len(set(crashed_nodes)) != len(crashed_nodes):
             raise ConfigurationError(
-                f"max_retries must be >= 0: {self.max_retries}")
-        if self.rto_multiplier <= 0:
+                f"duplicate crash node in plan: {sorted(crashed_nodes)}")
+        if self.detect_cycles <= 0:
             raise ConfigurationError(
-                f"rto_multiplier must be > 0: {self.rto_multiplier}")
+                f"detect_cycles must be > 0: {self.detect_cycles}")
         if self.watchdog_cycles <= 0:
             raise ConfigurationError(
                 f"watchdog_cycles must be > 0: {self.watchdog_cycles}")
@@ -145,7 +249,8 @@ class FaultPlan:
     def enabled(self) -> bool:
         """True when any fault mechanism can actually fire."""
         return bool(self.loss_rate or self.dup_rate or
-                    self.jitter_cycles or self.schedule or self.stalls)
+                    self.jitter_cycles or self.schedule or self.stalls or
+                    self.crashes)
 
     def label(self) -> str:
         """Compact machine-name suffix (``loss0.02``, ``sched``...)."""
@@ -160,7 +265,29 @@ class FaultPlan:
             parts.append("sched")
         if self.stalls:
             parts.append("stall")
+        for crash in self.crashes:
+            parts.append(f"crash{crash.node}t{crash.at}")
         return "+".join(parts) or "off"
+
+    # -- crash queries ----------------------------------------------------
+    def crash_of(self, node: int) -> Optional[CrashEvent]:
+        """The crash event scheduled for ``node``, if any."""
+        for crash in self.crashes:
+            if crash.node == node:
+                return crash
+        return None
+
+    def node_down_at(self, node: int, time: int) -> bool:
+        """Is ``node``'s *host* unreachable at ``time``?
+
+        True between the crash and the (optional) link rejoin.  Note
+        this is a link property only — the *process* on a crashed node
+        is dead forever regardless of rejoin (crash-stop).
+        """
+        crash = self.crash_of(node)
+        if crash is None or time < crash.at:
+            return False
+        return crash.rejoin is None or time < crash.rejoin
 
 
 def parse_schedule(spec: str) -> Tuple[FaultRule, ...]:
@@ -177,6 +304,10 @@ def parse_schedule(spec: str) -> Tuple[FaultRule, ...]:
         chunk = chunk.strip()
         if not chunk:
             continue
+        if chunk.startswith("crash@"):
+            raise ConfigurationError(
+                f"crash events are not schedule rules: pass {chunk!r} "
+                f"via --crash / parse_crashes, not the fault schedule")
         parts = [p.strip() for p in chunk.split(":")]
         action, kind = parts[0], None
         filters: Dict[str, int] = {}
@@ -203,6 +334,54 @@ def parse_schedule(spec: str) -> Tuple[FaultRule, ...]:
     if not rules:
         raise ConfigurationError(f"empty fault schedule: {spec!r}")
     return tuple(rules)
+
+
+def parse_crashes(spec: str) -> Tuple[CrashEvent, ...]:
+    """Parse the CLI crash mini-language into :class:`CrashEvent`\\ s.
+
+    Events are separated by ``;``; each is
+    ``crash@node<N>:t=<cycles>[:rejoin=<cycles>]``::
+
+        crash@node3:t=500000
+        crash@node1:t=2000000:rejoin=9000000
+    """
+    events = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = [p.strip() for p in chunk.split(":")]
+        head = parts[0]
+        if not head.startswith("crash@node"):
+            raise ConfigurationError(
+                f"crash spec must start with 'crash@node<N>': {chunk!r}")
+        try:
+            node = int(head[len("crash@node"):])
+        except ValueError:
+            raise ConfigurationError(
+                f"crash spec needs an integer node: {chunk!r}") from None
+        fields: Dict[str, int] = {}
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in ("t", "rejoin"):
+                raise ConfigurationError(
+                    f"unknown crash field {part!r} in {chunk!r} "
+                    f"(expected t=, rejoin=)")
+            try:
+                fields[key] = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"crash field {key}= needs an integer: "
+                    f"{chunk!r}") from None
+        if "t" not in fields:
+            raise ConfigurationError(
+                f"crash spec needs a time (t=): {chunk!r}")
+        events.append(CrashEvent(node, fields["t"],
+                                 rejoin=fields.get("rejoin")))
+    if not events:
+        raise ConfigurationError(f"empty crash spec: {spec!r}")
+    return tuple(events)
 
 
 @dataclass
@@ -235,6 +414,15 @@ class FaultInjector:
                 raise ConfigurationError(
                     f"stall window node {stall.node} outside the "
                     f"{num_nodes}-node machine")
+        for crash in plan.crashes:
+            if not 0 <= crash.node < num_nodes:
+                raise ConfigurationError(
+                    f"crash node {crash.node} outside the "
+                    f"{num_nodes}-node machine")
+        if plan.crashes and len(plan.crashes) >= num_nodes:
+            raise ConfigurationError(
+                f"crash plan kills all {num_nodes} nodes; at least "
+                f"one survivor is required for a degraded run")
         self.plan = plan
         self._edge_count: Dict[Tuple[int, int, str], int] = {}
         self._rule_count = [0] * len(plan.schedule)

@@ -33,6 +33,7 @@ build the bare network), so the lossless path stays byte-identical.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import NetworkPartitionError
@@ -41,20 +42,27 @@ from repro.net.faults import FaultInjector, FaultPlan
 from repro.stats.counters import DataKind, MsgKind
 from repro.trace.tracer import Category
 
+#: Bounded replayable slice of recent delivery events attached to
+#: partition/deadlock diagnostics (parity with the checker trail).
+TRAIL_LEN = 64
+
 
 class _Transmission:
     """One logical message in flight (possibly over several attempts)."""
 
     __slots__ = ("src", "dst", "payload", "kind", "data_kind", "seq",
-                 "on_delivered", "base_rto", "attempt", "delivered",
-                 "last_sent", "send_cpu_cycles", "recv_cpu_cycles")
+                 "on_delivered", "on_abandoned", "base_rto", "attempt",
+                 "delivered", "abandoned", "last_sent", "timer_attempt",
+                 "send_cpu_cycles", "recv_cpu_cycles")
 
     def __init__(self, src: int, dst: int, payload: int, kind: MsgKind,
                  data_kind: DataKind, seq: int,
                  on_delivered: Optional[Callable[[int], None]],
                  base_rto: int,
                  send_cpu_cycles: Optional[int] = None,
-                 recv_cpu_cycles: Optional[int] = None) -> None:
+                 recv_cpu_cycles: Optional[int] = None,
+                 on_abandoned: Optional[Callable[[int], None]] = None
+                 ) -> None:
         self.src = src
         self.dst = dst
         self.payload = payload
@@ -62,10 +70,16 @@ class _Transmission:
         self.data_kind = data_kind
         self.seq = seq
         self.on_delivered = on_delivered
+        self.on_abandoned = on_abandoned
         self.base_rto = base_rto
         self.attempt = 0
         self.delivered = False
+        self.abandoned = False
         self.last_sent = 0
+        #: Attempt number a retransmission timer is armed for (the
+        #: duplicate of a frame lost at a dead host must not arm a
+        #: second timer for the same attempt).
+        self.timer_attempt = 0
         self.send_cpu_cycles = send_cpu_cycles
         self.recv_cpu_cycles = recv_cpu_cycles
 
@@ -90,6 +104,29 @@ class ReliableNetwork:
         self.overhead = inner.overhead
         self.switch_latency = inner.switch_latency
         self._next_seq: Dict[Tuple[int, int], int] = {}
+        #: Installed by the machine when the plan schedules crashes;
+        #: promotes exhausted retry chains into structured failure
+        #: declarations instead of partition errors.
+        self.recovery = None
+        #: Recent delivery events (bounded) for diagnostics.
+        self._trail: deque = deque(maxlen=TRAIL_LEN)
+        #: Timeouts observed per destination — the "who were we
+        #: retransmitting to" signal behind the deadlock suspect.
+        self._timeouts_by_dst: Dict[int, int] = {}
+        self.engine.net_diagnostics = self._diagnostics
+
+    # -- diagnostics ----------------------------------------------------
+    def _note(self, event: str, time: int, tx: "_Transmission") -> None:
+        self._trail.append((event, time, tx.src, tx.dst,
+                            tx.kind.value, tx.seq, tx.attempt))
+
+    def _diagnostics(self) -> Tuple[Optional[int], tuple]:
+        """(most-suspected destination, recent event trail)."""
+        suspect = None
+        if self._timeouts_by_dst:
+            suspect = max(sorted(self._timeouts_by_dst),
+                          key=self._timeouts_by_dst.get)
+        return suspect, tuple(self._trail)
 
     # -- delegated cost model ------------------------------------------
     def wire_cycles(self, nbytes: int) -> int:
@@ -104,9 +141,16 @@ class ReliableNetwork:
              now: Optional[int] = None,
              send_cpu_cycles: Optional[int] = None,
              recv_cpu_cycles: Optional[int] = None,
-             on_delivered: Optional[Callable[[int], None]] = None) -> int:
+             on_delivered: Optional[Callable[[int], None]] = None,
+             on_abandoned: Optional[Callable[[int], None]] = None
+             ) -> int:
         """Send one logical message; delivers ``on_delivered`` exactly
         once (or raises :class:`NetworkPartitionError` via the engine).
+
+        ``on_abandoned`` fires instead — also exactly once — when the
+        message is given up on because its destination was declared
+        dead by recovery; senders that must not strand a waiter (lock
+        requests) use it to re-route through the repaired state.
         """
         if now is None:
             now = self.engine.now
@@ -125,12 +169,49 @@ class ReliableNetwork:
         tx = _Transmission(src, dst, payload_bytes, kind, data_kind,
                            seq, on_delivered, base_rto,
                            send_cpu_cycles=send_cpu_cycles,
-                           recv_cpu_cycles=recv_cpu_cycles)
+                           recv_cpu_cycles=recv_cpu_cycles,
+                           on_abandoned=on_abandoned)
         return self._attempt(tx, now)
+
+    # ------------------------------------------------------------------
+    def _abandon(self, tx: _Transmission, now: int) -> None:
+        """Give up on ``tx`` (dead destination); fire the fallback."""
+        if tx.delivered or tx.abandoned:
+            return
+        tx.abandoned = True
+        self._note("abandoned", now, tx)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(tx.src, Category.RECOVERY,
+                           "send_abandoned", now,
+                           track=f"node{tx.src}.sw", dst=tx.dst,
+                           seq=tx.seq, kind=tx.kind.value)
+        if tx.on_abandoned is not None:
+            tx.on_abandoned(now)
+
+    def _sender_dead(self, node: int, now: int) -> bool:
+        """Has the *process* on ``node`` crashed by ``now``?
+
+        Crash-stop: the process never returns, even if the host's
+        link rejoins, so any send it would have made evaporates.
+        """
+        crash = self.plan.crash_of(node)
+        return crash is not None and now >= crash.at
 
     # ------------------------------------------------------------------
     def _attempt(self, tx: _Transmission, now: int) -> int:
         """Launch the next transmission attempt of ``tx`` at ``now``."""
+        if tx.abandoned:
+            return now
+        if self._sender_dead(tx.src, now):
+            # The sending process died: the message simply never goes
+            # out.  No fallback fires — nothing on a dead node waits.
+            return now
+        if self.recovery is not None and self.recovery.is_dead(tx.dst):
+            # Destination already declared dead: don't start (or keep
+            # feeding) a retry chain that can only end in abandonment.
+            self._abandon(tx, now)
+            return now
         wake = max(self.injector.stall_until(tx.src, now),
                    self.injector.stall_until(tx.dst, now))
         if wake > now:
@@ -142,6 +223,7 @@ class ReliableNetwork:
         tracer = self.engine.tracer
         if tx.attempt > 1:
             self.counters.retransmissions += 1
+            self._note("retransmit", now, tx)
             if tracer.enabled:
                 # The recovery span is the dead time the loss cost us:
                 # from the failed attempt to this retransmission.
@@ -153,14 +235,18 @@ class ReliableNetwork:
         tx.last_sent = now
 
         decision = self.injector.decide(tx.src, tx.dst, tx.kind)
-        if decision.drop:
+        if decision.drop or self.plan.node_down_at(tx.dst, now):
+            # A frame to a down host is lost exactly like a dropped
+            # one: silently, with the timeout wait as its only cost.
             self.counters.messages_dropped += 1
-            rto = tx.base_rto << (tx.attempt - 1)
+            rto = self.plan.retry.rto_for(tx.base_rto, tx.attempt)
+            self._note("frame_lost", now, tx)
             if tracer.enabled:
                 tracer.instant(tx.src, Category.RECOVERY, "frame_lost",
                                now, track=f"node{tx.src}.sw",
                                dst=tx.dst, seq=tx.seq,
                                kind=tx.kind.value, attempt=tx.attempt)
+            tx.timer_attempt = tx.attempt
             self.engine.schedule_at(now + rto, self._timeout, tx, rto)
             return now + rto
 
@@ -178,17 +264,53 @@ class ReliableNetwork:
 
     def _timeout(self, tx: _Transmission, rto: int) -> None:
         """The retransmission timer for ``tx``'s last attempt fired."""
-        if tx.delivered:
+        if tx.delivered or tx.abandoned:
             return
+        now = self.engine.now
         self.counters.timeouts += 1
         self.counters.timeout_cycles += rto
+        self._timeouts_by_dst[tx.dst] = (
+            self._timeouts_by_dst.get(tx.dst, 0) + 1)
+        self._note("timeout", now, tx)
         if tx.attempt >= 1 + self.plan.max_retries:
+            self._note("exhausted", now, tx)
+            if (self.recovery is not None and
+                    self.recovery.on_suspect(tx)):
+                # Verdict consumed: the destination really crashed and
+                # recovery has repaired the stack.  This message dies
+                # with it.
+                self._abandon(tx, now)
+                return
             raise NetworkPartitionError(tx.src, tx.dst, tx.kind.value,
-                                        tx.attempt, self.engine.now)
-        self._attempt(tx, self.engine.now)
+                                        tx.attempt, now,
+                                        trail=tuple(self._trail))
+        self._attempt(tx, now)
 
     def _arrived(self, tx: _Transmission, time: int) -> None:
         """Receiver-side dedup: deliver each logical message once."""
+        if tx.abandoned:
+            return
+        if not tx.delivered and self.plan.node_down_at(tx.dst, time):
+            # The frame was in flight when the host died under it.
+            # Lost like any dropped frame; arm the retransmission
+            # timer retroactively from the attempt that sent it (at
+            # most once per attempt — a duplicate copy lost at the
+            # same dead host must not double the retry chain).
+            self.counters.messages_dropped += 1
+            self._note("dead_host_loss", time, tx)
+            if tx.timer_attempt < tx.attempt:
+                tx.timer_attempt = tx.attempt
+                rto = self.plan.retry.rto_for(tx.base_rto, tx.attempt)
+                self.engine.schedule_at(max(self.engine.now,
+                                            tx.last_sent + rto),
+                                        self._timeout, tx, rto)
+            return
+        if self.recovery is not None and self.recovery.is_dead(tx.dst):
+            # Late delivery to a host whose process was declared dead
+            # (e.g. the link rejoined): the daemon is gone, nothing
+            # consumes the frame.
+            self._abandon(tx, time)
+            return
         if tx.delivered:
             self.counters.duplicates_dropped += 1
             tracer = self.engine.tracer

@@ -1,0 +1,24 @@
+"""Crash-stop node failures and DSM recovery.
+
+The realistic failure mode of the paper's commodity ATM cluster is a
+*dead node*, not a dropped cell.  This package turns the crash events
+of a :class:`~repro.net.faults.FaultPlan` into a full
+detection-and-recovery path: the crashed node's processors halt, the
+reliable-delivery layer's exhausted retransmission chains (or a
+keepalive backstop) promote the silence into a structured
+:class:`NodeFailure` verdict, and the :class:`RecoveryManager` repairs
+the software DSM stack — re-homing pages, regenerating lock tokens,
+reconfiguring barrier membership from n to n−1 — so the run completes
+*degraded* on the survivors with
+:attr:`~repro.stats.result.RunResult.degraded` metadata instead of
+dying with a bare partition error.
+
+Everything is deterministic: crashes fire at fixed simulated cycles,
+detection latency is a pure function of the plan and the message
+schedule, and degraded results reproduce byte-identically serial vs
+pool vs warm cache like every other run.
+"""
+
+from repro.recover.manager import NodeFailure, RecoveryManager
+
+__all__ = ["NodeFailure", "RecoveryManager"]

@@ -49,6 +49,11 @@ class Engine:
         #: operation or finishing — the "silent no-progress" failure
         #: mode a lossy network can otherwise turn into a hang.
         self.watchdog_cycles: Optional[int] = None
+        #: Optional zero-argument callable returning ``(suspect,
+        #: trail)`` network diagnostics; the reliable-delivery layer
+        #: installs one so :class:`DeadlockError` can name the node it
+        #: was retransmitting to and attach a replayable event slice.
+        self.net_diagnostics: Optional[Callable[[], tuple]] = None
         #: Observation hook; never schedules events, so tracing cannot
         #: change simulated time.  Defaults to the shared no-op tracer.
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
@@ -129,12 +134,14 @@ class Engine:
                 state = self._progress_state()
                 if state == mark_state:
                     blocked = [t for t in self._tasks if not t.finished]
+                    suspect, trail = self._net_diagnostics()
                     raise DeadlockError(
                         blocked, now=self.now,
                         reason=f"no task progress in "
                                f"{self.now - mark_time} cycles / "
                                f"{self.events_processed - mark_events} "
-                               f"events")
+                               f"events",
+                        suspect=suspect, trail=trail)
                 mark_time = self.now
                 mark_events = self.events_processed
                 mark_state = state
@@ -144,9 +151,17 @@ class Engine:
         if not stopped_at_horizon:
             blocked = [t for t in self._tasks if not t.finished]
             if blocked:
+                suspect, trail = self._net_diagnostics()
                 raise DeadlockError(blocked, now=self.now,
-                                    reason="event queue drained")
+                                    reason="event queue drained",
+                                    suspect=suspect, trail=trail)
         return self.now
+
+    def _net_diagnostics(self) -> Tuple[Optional[int], tuple]:
+        """(suspect, trail) from the installed network hook, if any."""
+        if self.net_diagnostics is None:
+            return None, ()
+        return self.net_diagnostics()
 
     def _progress_state(self) -> Tuple[int, int]:
         """A signature that changes whenever any task makes progress."""

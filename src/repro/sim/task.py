@@ -50,6 +50,11 @@ class ProcTask:
         self.gen = gen
         self.handler = handler
         self.finished = False
+        #: True when a crash-stop failure halted this processor; the
+        #: task counts as finished (so the engine's drain check does
+        #: not call it blocked) but its generator never ran to
+        #: completion and produced no result.
+        self.killed = False
         self.finish_time: Optional[int] = None
         self.start_time: Optional[int] = None
         self.ops_issued = 0
@@ -80,6 +85,11 @@ class ProcTask:
 
     def resume(self, at: int, value: Any = None) -> None:
         """Called by the handler when the pending operation completes."""
+        if self.killed:
+            # A completion can race the crash (the handler scheduled it
+            # before the node died); the processor is gone, so the
+            # result evaporates silently.
+            return
         if self.finished:
             raise SimulationError(f"resume on finished task p{self.proc_id}")
         if not self._waiting:
@@ -88,8 +98,27 @@ class ProcTask:
         self._waiting = False
         self.engine.schedule_at(at, self._step, value)
 
+    def kill(self, at: int) -> None:
+        """Crash-stop this processor at cycle ``at``.
+
+        The generator is abandoned where it stands (not closed — a
+        crashed process runs no cleanup), any pending operation's
+        completion is dropped, and the task reports finished so the
+        engine's deadlock accounting excludes it.  Idempotent.
+        """
+        if self.finished:
+            return
+        self.killed = True
+        self.finished = True
+        self.finish_time = at
+        self.current_op = None
+        self._waiting = False
+        self._chunk = None
+
     # ------------------------------------------------------------------
     def _step(self, value: Any) -> None:
+        if self.killed:
+            return
         self._last_resume = self.engine.now
         tracer = self.engine.tracer
         if tracer.enabled:

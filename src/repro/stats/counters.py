@@ -103,6 +103,18 @@ class Counters:
     timeout_cycles: int = 0
     stall_deferrals: int = 0
 
+    # -- crash-stop failure recovery (repro.recover) ----------------------
+    #: Cycles between each crash and its declaration, summed.
+    detection_cycles: int = 0
+    #: Pages owned/pending at a dead node re-homed to a survivor.
+    pages_rehomed: int = 0
+    #: Pages whose only reconstruction source died with the node.
+    pages_lost: int = 0
+    #: Lock records repaired (token regenerated / queue repaired).
+    locks_regenerated: int = 0
+    #: Barrier episodes reconfigured from n to n−1 membership.
+    barrier_reconfigs: int = 0
+
     # -- hardware coherence ----------------------------------------------
     bus_transactions: int = 0
     bus_data_bytes: int = 0

@@ -57,6 +57,12 @@ class RunResult:
     #: *identity*, not measurement, so it stays out of ``summary()``
     #: (re-running a cached plan must not "change" any number).
     run_id: Optional[str] = None
+    #: Crash-stop recovery metadata (``repro.recover``); None for a
+    #: run that finished at full membership.  Carries the failed
+    #: nodes, crash/declaration times, and detection path — the
+    #: deterministic record that this result was produced by the
+    #: surviving nodes of a degraded run.
+    degraded: Optional[Dict[str, Any]] = None
 
     @property
     def seconds(self) -> float:
@@ -102,6 +108,12 @@ class RunResult:
         }
         if self.breakdown is not None:
             s.update(self.breakdown.summary_keys())
+        if self.degraded is not None:
+            # Degradation is *measurement* (the run completed on fewer
+            # nodes), unlike run_id, so it belongs in the summary and
+            # the determinism pins cover it.
+            s["degraded_nodes"] = len(self.degraded.get("failed_nodes",
+                                                        ()))
         return s
 
     # -- serialization ----------------------------------------------------
@@ -122,6 +134,8 @@ class RunResult:
             out["breakdown"] = self.breakdown.as_dict()
         if self.run_id is not None:
             out["run_id"] = self.run_id
+        if self.degraded is not None:
+            out["degraded"] = jsonable(self.degraded)
         return out
 
     @classmethod
@@ -142,6 +156,7 @@ class RunResult:
             events=int(data.get("events", 0)),
             breakdown=breakdown,
             run_id=data.get("run_id"),
+            degraded=data.get("degraded"),
         )
 
 

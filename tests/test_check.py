@@ -143,12 +143,12 @@ def test_skipped_diff_application_is_caught(monkeypatch):
     ISSUE's canonical injected bug: the checker names fault_done."""
     original = TreadMarksDsm._diff_arrived
 
-    def buggy(self, job, wire_bytes, time):
+    def buggy(self, job, creator, wire_bytes, time):
         if job.outstanding > 1:
             # Skip the remaining diffs and declare the fault done.
             self._finish_fault(job, time)
             return
-        original(self, job, wire_bytes, time)
+        original(self, job, creator, wire_bytes, time)
 
     monkeypatch.setattr(TreadMarksDsm, "_diff_arrived", buggy)
     # LockCounterApp makes several nodes dirty the same page between
