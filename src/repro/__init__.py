@@ -27,6 +27,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.ablate import (DEFAULT_ABLATION, MECHANISMS, AblationSpec,
+                          parse_ablation)
 from repro.apps import (Acquire, AppContext, Application, Barrier, Compute,
                         IlinkApp, OpBlock, Read, ReadBound, Release, SorApp,
                         TspApp, UpdateBound, WaterApp, Write, fuse, unfuse)
@@ -47,7 +49,7 @@ from repro.sync import (BARRIER_ALGORITHMS, DEFAULT_SYNC, LOCK_ALGORITHMS,
                         SyncPolicy, parse_sync)
 from repro.trace import Tracer, trace_session
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # applications and the op vocabulary
@@ -90,6 +92,11 @@ __all__ = [
     "DEFAULT_SYNC",
     "LOCK_ALGORITHMS",
     "BARRIER_ALGORITHMS",
+    # mechanism ablations
+    "AblationSpec",
+    "parse_ablation",
+    "DEFAULT_ABLATION",
+    "MECHANISMS",
     # run entry points
     "RunPlan",
     "RunSpec",

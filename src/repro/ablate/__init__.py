@@ -1,0 +1,35 @@
+"""repro.ablate: the DSM mechanism-ablation layer.
+
+Public surface: :class:`AblationSpec` (the frozen on/off selection),
+:func:`parse_ablation` (the spec grammar), :data:`MECHANISMS` (the
+seven mechanism names), the grid builders
+:func:`leave_one_out`/:func:`one_only`, and the importance-score
+helpers the ``ablation-sweep`` experiment and ``repro-harness ablate``
+report are built on.  See DESIGN.md §8 for the mechanism inventory
+and the score formula.
+"""
+
+from repro.ablate.score import (IMPORTANCE_METRICS, importance_score,
+                                metric_deltas, relative_delta,
+                                run_metrics)
+from repro.ablate.spec import (ALL_ON, DEFAULT_ABLATION, MECHANISMS,
+                               AblationSpec, AblationSpecLike,
+                               leave_one_out, one_only, parse_ablation,
+                               spec_fields)
+
+__all__ = [
+    "AblationSpec",
+    "AblationSpecLike",
+    "ALL_ON",
+    "DEFAULT_ABLATION",
+    "MECHANISMS",
+    "parse_ablation",
+    "leave_one_out",
+    "one_only",
+    "spec_fields",
+    "IMPORTANCE_METRICS",
+    "run_metrics",
+    "relative_delta",
+    "metric_deltas",
+    "importance_score",
+]

@@ -1,0 +1,67 @@
+"""Per-mechanism importance scores from cached metric deltas.
+
+The ablation-sweep experiment runs a leave-one-out grid and asks, for
+each mechanism, *how much worse does the run get without it?*  Four
+metrics answer from different angles:
+
+==========  =====================================================
+metric      source
+==========  =====================================================
+seconds     simulated runtime (:attr:`RunResult.seconds`)
+messages    total messages (``counters.total_messages``)
+bytes       total bytes moved (``counters.total_bytes``)
+diff_bytes  diff bytes created (``counters.diff_bytes_created``
+            — the diff-machinery work proxy: creation and apply
+            costs are charged proportional to these bytes)
+==========  =====================================================
+
+For each metric *k* the relative delta is ``(ablated_k - full_k) /
+full_k`` (a zero baseline with a nonzero ablated value is clamped to
+±1.0 so one degenerate metric cannot dominate).  The **importance
+score** of a mechanism on a workload is the mean of the absolute
+relative deltas over the four metrics — direction-agnostic, because an
+ablation that makes a run *faster* is exactly as scientifically
+interesting as one that makes it slower.  A mechanism's headline score
+is its maximum over the swept workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+#: Metric names, in report order.
+IMPORTANCE_METRICS: Tuple[str, ...] = (
+    "seconds", "messages", "bytes", "diff_bytes")
+
+
+def run_metrics(result: Any) -> Dict[str, float]:
+    """The four importance metrics of one :class:`RunResult`."""
+    return {
+        "seconds": float(result.seconds),
+        "messages": float(result.counters.total_messages),
+        "bytes": float(result.counters.total_bytes),
+        "diff_bytes": float(result.counters.diff_bytes_created),
+    }
+
+
+def relative_delta(full: float, ablated: float) -> float:
+    """``(ablated - full) / full`` with a clamped zero baseline."""
+    if full == 0.0:
+        if ablated == 0.0:
+            return 0.0
+        return 1.0 if ablated > 0 else -1.0
+    return (ablated - full) / full
+
+
+def metric_deltas(full: Mapping[str, float],
+                  ablated: Mapping[str, float]) -> Dict[str, float]:
+    """Relative delta per importance metric (ablated vs. full)."""
+    return {k: relative_delta(full[k], ablated[k])
+            for k in IMPORTANCE_METRICS}
+
+
+def importance_score(full: Mapping[str, float],
+                     ablated: Mapping[str, float]) -> float:
+    """Mean absolute relative delta over the importance metrics."""
+    deltas = metric_deltas(full, ablated)
+    return sum(abs(v) for v in deltas.values()) / len(deltas)

@@ -1,0 +1,210 @@
+"""The ablation design space: one frozen spec, seven mechanisms.
+
+The paper's headline result — software shared memory within a small
+factor of hardware — rests on a stack of DSM mechanisms whose
+individual contributions the paper never isolates.  An
+:class:`AblationSpec` names an on/off state for each of the seven
+separable ones; machines accept a spec via ``make_machine(ablate=...)``
+and thread it into :class:`~repro.dsm.protocol.TreadMarksDsm` /
+:class:`~repro.net.reliable.ReliableNetwork` behind explicit
+conditionals:
+
+============  =======================================================
+mechanism     off-state behaviour
+============  =======================================================
+twins         no twin/diff machinery at all: a faulting node receives
+              the creator's *whole page* (one copy per creator),
+              counted by ``pages_shipped_whole``
+diffs         writes dirty the whole page, so every diff covers a
+              full page (RLE run-length encoding off; the paper's A1
+              whole-page-transfer ablation, twin bookkeeping kept)
+lazy_fetch    diffs are fetched *eagerly*: the moment write notices
+              invalidate pages at a sync point, the node faults them
+              all in instead of waiting for the next access
+              (``eager_fetches``)
+lazy_release  every lock release pushes the closing interval's diffs
+              to all nodes holding copies — §2.4.3's eager release
+              applied to *every* lock (``eager_releases``)
+piggyback     write notices no longer ride lock-grant / barrier
+              messages; each sync op with notices pays one extra
+              ``WRITE_NOTICE`` message (and header) for them
+diff_merge    a creator answering one fault for several of its
+              intervals sends one response *per interval* instead of
+              one merged response (the on-state counts the merges it
+              avoids in ``diffs_merged``)
+backoff       retransmission timers stop backing off exponentially:
+              every retry waits the flat base RTO (observable only
+              under an enabled :class:`~repro.net.faults.FaultPlan`)
+============  =======================================================
+
+The all-on default reproduces the paper bit-for-bit: machines built
+with ``AblationSpec.all_on()`` are fingerprint- and name-identical to
+machines built with no spec at all, so golden pins and cached results
+are untouched.  Any off-toggle suffixes the machine name with
+``label()`` and forks the cache key, exactly like
+:class:`~repro.sync.SyncPolicy` does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Mapping, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Mechanism names, in protocol-stack order (write path outward).
+MECHANISMS: Tuple[str, ...] = (
+    "twins", "diffs", "lazy_fetch", "lazy_release", "piggyback",
+    "diff_merge", "backoff",
+)
+
+
+@dataclass(frozen=True)
+class AblationSpec:
+    """An immutable on/off selection over the seven DSM mechanisms.
+
+    Every field defaults to ``True`` (mechanism active — the paper's
+    protocol).  Construct off-states with keyword arguments
+    (``AblationSpec(twins=False)``), :meth:`without`, or the
+    :func:`parse_ablation` string grammar.
+    """
+
+    twins: bool = True
+    diffs: bool = True
+    lazy_fetch: bool = True
+    lazy_release: bool = True
+    piggyback: bool = True
+    diff_merge: bool = True
+    backoff: bool = True
+
+    def __post_init__(self) -> None:
+        for name in MECHANISMS:
+            value = getattr(self, name)
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"ablation mechanism '{name}' must be a bool, "
+                    f"got {value!r}")
+
+    @classmethod
+    def all_on(cls) -> "AblationSpec":
+        """The full protocol — identical to the no-spec default."""
+        return cls()
+
+    @classmethod
+    def without(cls, *mechanisms: str) -> "AblationSpec":
+        """A spec with the named mechanisms off, the rest on."""
+        return cls(**{m: False for m in _validated(mechanisms)})
+
+    @classmethod
+    def only(cls, *mechanisms: str) -> "AblationSpec":
+        """A spec with *only* the named mechanisms on (one-only grid)."""
+        keep = set(_validated(mechanisms))
+        return cls(**{m: m in keep for m in MECHANISMS})
+
+    @property
+    def is_default(self) -> bool:
+        """True when every mechanism is on (the paper's protocol)."""
+        return all(getattr(self, m) for m in MECHANISMS)
+
+    def off_mechanisms(self) -> Tuple[str, ...]:
+        """The mechanisms this spec disables, in canonical order."""
+        return tuple(m for m in MECHANISMS if not getattr(self, m))
+
+    def on_mechanisms(self) -> Tuple[str, ...]:
+        """The mechanisms this spec keeps active, in canonical order."""
+        return tuple(m for m in MECHANISMS if getattr(self, m))
+
+    def label(self) -> str:
+        """Short stable label: ``full``, or ``no-<m>[+<m>...]``.
+
+        The label is the :func:`parse_ablation` string form, the
+        machine-name suffix for non-default specs, and the spec's
+        identity inside cache fingerprints.
+        """
+        off = self.off_mechanisms()
+        if not off:
+            return "full"
+        return "no-" + "+".join(off)
+
+
+def _validated(mechanisms: Iterable[str]) -> List[str]:
+    """Normalize mechanism names, raising on unknown ones."""
+    out: List[str] = []
+    for name in mechanisms:
+        key = str(name).strip().lower().replace("-", "_")
+        if key not in MECHANISMS:
+            raise ConfigurationError(
+                f"unknown ablation mechanism '{name}' "
+                f"(known: {', '.join(MECHANISMS)})")
+        out.append(key)
+    return out
+
+
+#: The paper's protocol with every mechanism on; behaviourally (and
+#: fingerprint-) identical to passing no spec at all.
+ALL_ON = AblationSpec()
+
+#: Alias following the ``DEFAULT_SYNC`` naming convention.
+DEFAULT_ABLATION = ALL_ON
+
+AblationSpecLike = Union[None, str, Mapping[str, Any], AblationSpec]
+"""Anything :func:`parse_ablation` accepts."""
+
+
+def parse_ablation(spec: AblationSpecLike) -> AblationSpec:
+    """Coerce a user-facing ablation spec into an :class:`AblationSpec`.
+
+    Accepts ``None`` (everything on), an existing spec, a mapping of
+    field overrides (``{"twins": False}``), or a string in the
+    ``label()`` grammar:
+
+    * ``"full"`` / ``"all"`` — every mechanism on,
+    * ``"no-twins"`` / ``"no-twins+piggyback"`` — the named
+      mechanisms off,
+    * ``"only-twins"`` / ``"only-twins+diffs"`` — *only* the named
+      mechanisms on (the one-only grid's form).
+    """
+    if spec is None:
+        return ALL_ON
+    if isinstance(spec, AblationSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        try:
+            return AblationSpec(**dict(spec))
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad ablation spec {spec!r}: {exc}") from None
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"ablation spec must be a string, mapping, or AblationSpec, "
+            f"got {type(spec).__name__}")
+
+    text = spec.strip().lower()
+    if text in ("full", "all", "all-on", "all_on"):
+        return ALL_ON
+    if text.startswith("no-"):
+        return AblationSpec.without(*text[len("no-"):].split("+"))
+    if text.startswith("only-"):
+        return AblationSpec.only(*text[len("only-"):].split("+"))
+    raise ConfigurationError(
+        f"bad ablation spec '{spec}' (expected 'full', 'no-<m>[+...]' "
+        f"or 'only-<m>[+...]' over: {', '.join(MECHANISMS)})")
+
+
+def leave_one_out(
+        mechanisms: Iterable[str] = MECHANISMS) -> List[AblationSpec]:
+    """One spec per mechanism, each with exactly that mechanism off."""
+    return [AblationSpec.without(m) for m in _validated(mechanisms)]
+
+
+def one_only(
+        mechanisms: Iterable[str] = MECHANISMS) -> List[AblationSpec]:
+    """One spec per mechanism, each with *only* that mechanism on."""
+    return [AblationSpec.only(m) for m in _validated(mechanisms)]
+
+
+def spec_fields(spec: AblationSpec) -> Mapping[str, bool]:
+    """The spec as a plain mechanism -> bool mapping (JSON-friendly)."""
+    return {f.name: getattr(spec, f.name)
+            for f in dataclasses.fields(spec)}

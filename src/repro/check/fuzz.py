@@ -30,6 +30,14 @@ is either written by exactly one processor (which may also read it) or
 read-only — data-race freedom by construction; phases are separated
 by global barriers, and lock cells are only touched inside their own
 lock's critical section.
+
+A program may also carry ``"ablate": [mechanism, ...]`` — a list of
+DSM mechanisms to switch off (see :mod:`repro.ablate`).  The
+differential then additionally runs the software machines with that
+spec: ablations change traffic and timing, never values, so the
+ablated legs must produce the same digests and lock totals as the
+stock machines.  Shrinking tries dropping toggles before anything
+else, so a persisted reproducer carries the minimal toggle set.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.ablate import MECHANISMS, AblationSpec
 from repro.apps import ops
 from repro.apps.base import AppContext, Application
 from repro.check.checker import checking
@@ -108,6 +117,17 @@ def generate_program(seed: Any) -> Dict[str, Any]:
 
 def _seed_repr(seed: Any) -> Any:
     return list(seed) if isinstance(seed, tuple) else seed
+
+
+def generate_ablation_program(seed: Any) -> Dict[str, Any]:
+    """A random DRF program with a seeded random mechanism subset off."""
+    program = generate_program(seed)
+    entropy = (tuple(seed) if isinstance(seed, tuple) else (seed,))
+    rng = np.random.default_rng(entropy + (0xAB,))
+    k = int(rng.integers(1, 4))
+    off = sorted(rng.choice(MECHANISMS, size=k, replace=False).tolist())
+    program["ablate"] = off
+    return program
 
 
 def expected_lock_totals(program: Dict[str, Any]) -> List[int]:
@@ -270,6 +290,22 @@ def default_machines() -> List[Any]:
             HybridMachine(HsParams(procs_per_node=2))]
 
 
+def ablated_machines(off: Sequence[str]) -> List[Any]:
+    """The three software DSM machines with ``off`` mechanisms ablated.
+
+    Hardware machines have no ablatable mechanisms, so the ablation
+    differential only adds software legs; the stock hardware legs in
+    the same run supply the ground-truth digests.
+    """
+    from repro.machines import (AllSoftwareMachine, DecTreadMarksMachine,
+                                HybridMachine)
+    from repro.machines.params import HsParams
+    spec = AblationSpec.without(*off)
+    return [DecTreadMarksMachine(ablate=spec),
+            AllSoftwareMachine(ablate=spec),
+            HybridMachine(HsParams(procs_per_node=2), ablate=spec)]
+
+
 @dataclass
 class MachineVerdict:
     machine: str
@@ -312,6 +348,9 @@ def run_program(program: Dict[str, Any],
 
     machines = list(machines) if machines is not None \
         else default_machines()
+    off = program.get("ablate") or ()
+    if off:
+        machines = machines + ablated_machines(off)
     app = FuzzApp(program)
     nprocs = program["nprocs"]
     legs = [(machine, machine.name, app) for machine in machines]
@@ -372,7 +411,19 @@ def run_program(program: Dict[str, Any],
 # shrinking
 # ----------------------------------------------------------------------
 def _variants(program: Dict[str, Any]):
-    """Candidate simplifications, largest cuts first."""
+    """Candidate simplifications, largest cuts first.
+
+    Ablation toggles are tried before structural cuts: a reproducer
+    should carry the minimal mechanism set that still triggers the
+    divergence (ideally none — i.e. the bug is not ablation-specific).
+    """
+    off = program.get("ablate") or []
+    for i in range(len(off)):
+        smaller = off[:i] + off[i + 1:]
+        variant = {k: v for k, v in program.items() if k != "ablate"}
+        if smaller:
+            variant["ablate"] = smaller
+        yield variant
     phases = program["phases"]
     for i in range(len(phases)):
         if len(phases) > 1:
@@ -466,6 +517,7 @@ def fuzz_run(seed: int, iters: int, *,
              jobs: Optional[int] = None,
              history: bool = True,
              regression_programs: Sequence[Dict[str, Any]] = (),
+             ablation_iters: int = 0,
              log: Callable[[str], None] = lambda _msg: None
              ) -> FuzzReport:
     """Replay regression programs, then ``iters`` fresh ones.
@@ -473,8 +525,16 @@ def fuzz_run(seed: int, iters: int, *,
     Every program (regression and fresh) also runs one chunked leg —
     seeded-random OpBlock boundaries derived from the program digest —
     differenced against the per-op legs; see :func:`run_program`.
+
+    ``ablation_iters`` adds a random-ablation campaign after the
+    regular iterations: each extra program carries a seeded random
+    subset of DSM mechanisms switched off (``program["ablate"]``), so
+    the differential also pits ablated software machines against the
+    stock machines.  Shrinking minimizes the toggle set along with
+    the program (see :func:`_variants`).
     """
-    report = FuzzReport(iterations=iters, programs_run=0)
+    report = FuzzReport(iterations=iters + ablation_iters,
+                        programs_run=0)
 
     def chunk_seed_of(program: Dict[str, Any]) -> int:
         return int(program_digest(program)[:8], 16)
@@ -512,5 +572,12 @@ def fuzz_run(seed: int, iters: int, *,
         run_one(program, f"iter#{i} (seed={seed})")
         if (i + 1) % 10 == 0:
             log(f"  ... {i + 1}/{iters} programs, "
+                f"{len(report.failures)} failures")
+    for i in range(ablation_iters):
+        program = generate_ablation_program((seed, iters + i))
+        run_one(program,
+                f"ablate#{i} (seed={seed}, off={program['ablate']})")
+        if (i + 1) % 10 == 0:
+            log(f"  ... {i + 1}/{ablation_iters} ablation programs, "
                 f"{len(report.failures)} failures")
     return report

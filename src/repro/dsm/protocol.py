@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.ablate import ALL_ON, AblationSpec
 from repro.check.checker import DsmChecker, active_check_config
 from repro.dsm.diff import estimate_wire_bytes
 from repro.dsm.interval import Interval, IntervalLog
@@ -67,6 +68,9 @@ class DsmConfig:
     #: barrier_arrive (see :mod:`repro.sync`); the default is the
     #: paper's token lock + centralized barrier.
     sync: SyncPolicy = DEFAULT_SYNC
+    #: Mechanism on/off selection (see :mod:`repro.ablate`); the
+    #: all-on default is byte-identical to the pre-ablation protocol.
+    ablate: AblationSpec = ALL_ON
 
     def lock_is_eager(self, lock_id: int) -> bool:
         if self.eager_locks is None:
@@ -110,6 +114,7 @@ class TreadMarksDsm:
         self.space = space
         self.overhead = overhead
         self.config = config
+        self.ablate = config.ablate
         n = config.num_nodes
         self.vcs = [VectorClock(n) for _ in range(n)]
         self.log = IntervalLog(n)
@@ -194,7 +199,24 @@ class TreadMarksDsm:
         self._grant_snapshots.setdefault(key, deque()).append(snapshot)
         self.counters.write_notices_sent += self.log.notices_between(
             self.vcs[dst], snapshot)
-        return self.log.consistency_bytes(self.vcs[dst], snapshot)
+        nbytes = self.log.consistency_bytes(self.vcs[dst], snapshot)
+        return self._consistency_payload(src, dst, nbytes)
+
+    def _consistency_payload(self, src: int, dst: int,
+                             nbytes: int) -> int:
+        """Consistency bytes a sync message carries — or, with
+        write-notice piggybacking ablated off, zero: the notices then
+        travel as one standalone ``WRITE_NOTICE`` message on the same
+        edge, paying its own header and handler occupancy.  The
+        notices still *apply* when the sync message is delivered (the
+        omniscient-log simplification of DESIGN.md §4.4); the ablation
+        models the transport cost of not piggybacking, not a weaker
+        ordering."""
+        if self.ablate.piggyback or nbytes == 0 or src == dst:
+            return nbytes
+        self.net.send(src, dst, nbytes, kind=MsgKind.WRITE_NOTICE,
+                      data_kind=DataKind.CONSISTENCY)
+        return 0
 
     def _on_granted(self, dst: int, src: int) -> None:
         queue = self._grant_snapshots.get((src, dst))
@@ -210,12 +232,14 @@ class TreadMarksDsm:
         table = self.pages[dst]
         checker = self.checker
         applied = [] if checker is not None else None
+        touched: Set[int] = set()
         for interval in self.log.newer_than(self.vcs[dst], upto):
             for page, changed in interval.pages.items():
                 wire = estimate_wire_bytes(changed)
                 if table.apply_notice(page, interval.node, wire,
                                       interval.index):
                     self.counters.pages_invalidated += 1
+                touched.add(page)
             if applied is not None:
                 applied.append(interval)
         if applied:
@@ -223,6 +247,25 @@ class TreadMarksDsm:
             # call per (interval, page) write notice.
             checker.on_notices_applied(dst, applied)
         self.vcs[dst].merge(upto)
+        if not self.ablate.lazy_fetch and touched:
+            self._eager_fetch(dst, touched)
+
+    def _eager_fetch(self, dst: int, pages: Set[int]) -> None:
+        """Lazy-fetch ablation: fault invalidated pages immediately.
+
+        The paper's protocol waits for the next access fault to pull a
+        page's diffs; with ``lazy_fetch`` off the node fetches every
+        page the just-applied notices invalidated right at the sync
+        point, overlapping the fetches with whatever it does next (the
+        access that would have faulted finds the page valid or
+        coalesces onto the in-flight fetch)."""
+        for page in sorted(pages):
+            if page not in self.pages[dst].pending:
+                continue  # re-validated or already fetched
+            if (dst, page) in self._inflight:
+                continue  # a fetch is already in flight: coalescing
+            self.counters.eager_fetches += 1
+            self._fault(dst, page, lambda _t: None)
 
     # ==================================================================
     # barrier consistency plumbing
@@ -231,7 +274,9 @@ class TreadMarksDsm:
         mgr = self.barrier_manager
         self.counters.write_notices_sent += self.log.notices_between(
             self.vcs[mgr], self.vcs[node])
-        return self.log.consistency_bytes(self.vcs[mgr], self.vcs[node])
+        nbytes = self.log.consistency_bytes(self.vcs[mgr],
+                                            self.vcs[node])
+        return self._consistency_payload(node, mgr, nbytes)
 
     def _merge_all_clocks(self) -> None:
         self.counters.barriers += 1
@@ -247,7 +292,10 @@ class TreadMarksDsm:
             raise ProtocolError("departure before all arrivals merged")
         self.counters.write_notices_sent += self.log.notices_between(
             self.vcs[node], self._merged_vc)
-        return self.log.consistency_bytes(self.vcs[node], self._merged_vc)
+        nbytes = self.log.consistency_bytes(self.vcs[node],
+                                            self._merged_vc)
+        return self._consistency_payload(self.barrier_manager, node,
+                                         nbytes)
 
     def _on_depart(self, node: int) -> None:
         if self._merged_vc is None:
@@ -269,8 +317,14 @@ class TreadMarksDsm:
                 done: DoneCallback) -> None:
         """Release a lock, closing the node's interval first."""
         interval = self.end_interval(node)
-        if interval is not None and self.config.lock_is_eager(lock_id):
-            self._eager_push(node, interval)
+        if interval is not None:
+            if self.config.lock_is_eager(lock_id):
+                self._eager_push(node, interval)
+            elif not self.ablate.lazy_release:
+                # Lazy-release ablation: §2.4.3's eager release
+                # applied to every lock, not just ``eager_locks``.
+                self.counters.eager_releases += 1
+                self._eager_push(node, interval)
         self.locks.release(lock_id, node, proc, done)
 
     def barrier_arrive(self, barrier_id: int, node: int,
@@ -329,13 +383,17 @@ class TreadMarksDsm:
             page_lo = page * page_bytes
             page_hi = page_lo + page_bytes
             overlap = min(addr + nbytes, page_hi) - max(addr, page_lo)
-            if self.config.use_diffs:
+            if self.config.use_diffs and self.ablate.diffs:
                 share = int(round(changed_bytes * overlap / nbytes))
             else:
                 share = page_bytes  # whole-page transfer on fault
             if table.record_write(page, share):
-                cost += self.overhead.twin_cost(page_bytes)
-                self.counters.twins_created += 1
+                if self.ablate.twins:
+                    cost += self.overhead.twin_cost(page_bytes)
+                    self.counters.twins_created += 1
+                # Twins off: the first write still opens the page's
+                # dirty entry (interval bookkeeping), but no twin copy
+                # is made — faulting nodes will receive whole pages.
         return cost
 
     # ==================================================================
@@ -382,6 +440,11 @@ class TreadMarksDsm:
 
         creators = {c: b for c, b in pend.by_creator.items()
                     if c != node and c not in self.dead}
+        if not self.ablate.twins:
+            # No twins, no diffs to cut: each creator ships its whole
+            # current copy of the page exactly once, however many of
+            # its intervals the fault covers.
+            creators = {c: self.config.page_bytes for c in creators}
         if not creators:
             # Invalidated only by own stale state; revalidate locally.
             self._finish_fault(job, self.engine.now + fault_cost)
@@ -408,6 +471,22 @@ class TreadMarksDsm:
     def _serve_diffs(self, job: _FaultJob, creator: int, wire_bytes: int,
                      indices: List[int]) -> None:
         """At the creator: lazily build the diffs, then respond."""
+        if not self.ablate.twins:
+            # Twin ablation: with no twin there is nothing to diff
+            # against, so the creator ships its whole current copy of
+            # the page in one message (``wire_bytes`` was overridden
+            # to ``page_bytes`` at fault time).  No diff-creation cost
+            # and no ``on_diff_created`` events — the page copy is not
+            # a diff.
+            self.counters.pages_shipped_whole += 1
+            _start, ready = self.net.handlers[creator].acquire(
+                self.engine.now, 0)
+            self.net.send(creator, job.node, wire_bytes,
+                          kind=MsgKind.DIFF_RESPONSE,
+                          data_kind=DataKind.MISS, now=ready,
+                          on_delivered=lambda t, c=creator, w=wire_bytes:
+                          self._diff_arrived(job, c, w, t))
+            return
         create_cost = 0
         for index in indices:
             interval = self.log.get(creator, index)
@@ -427,11 +506,34 @@ class TreadMarksDsm:
             tracer.complete(creator, Category.PROTOCOL, "diff_create",
                             _start, ready, track=f"node{creator}.dsm",
                             page=job.page, for_node=job.node)
-        self.net.send(creator, job.node, wire_bytes,
-                      kind=MsgKind.DIFF_RESPONSE, data_kind=DataKind.MISS,
-                      now=ready,
-                      on_delivered=lambda t, c=creator, w=wire_bytes:
-                      self._diff_arrived(job, c, w, t))
+        if self.ablate.diff_merge or len(indices) <= 1:
+            if len(indices) > 1:
+                self.counters.diffs_merged += len(indices) - 1
+            self.net.send(creator, job.node, wire_bytes,
+                          kind=MsgKind.DIFF_RESPONSE,
+                          data_kind=DataKind.MISS, now=ready,
+                          on_delivered=lambda t, c=creator, w=wire_bytes:
+                          self._diff_arrived(job, c, w, t))
+            return
+        # Diff-merge ablation: one response message per covered
+        # interval instead of one merged response.  The per-interval
+        # wires sum to the merged total (``pend.by_creator``
+        # accumulates the same per-notice estimates), so the ablation
+        # pays extra headers and handler occupancy, not extra diff
+        # bytes.  Only the last message carries the completion
+        # callback — with the *full* wire total, so the receiver's
+        # apply cost matches the merged path.
+        for i, index in enumerate(indices):
+            interval = self.log.get(creator, index)
+            wire_i = estimate_wire_bytes(interval.pages[job.page])
+            done = None
+            if i == len(indices) - 1:
+                done = (lambda t, c=creator, w=wire_bytes:
+                        self._diff_arrived(job, c, w, t))
+            self.net.send(creator, job.node, wire_i,
+                          kind=MsgKind.DIFF_RESPONSE,
+                          data_kind=DataKind.MISS, now=ready,
+                          on_delivered=done)
 
     def _diff_arrived(self, job: _FaultJob, creator: int,
                       wire_bytes: int, time: int) -> None:
@@ -498,27 +600,49 @@ class TreadMarksDsm:
             tracer.instant(node, Category.PROTOCOL, "eager_push",
                            self.engine.now, track=f"node{node}.dsm",
                            pages=len(interval.pages))
+        wires: Dict[int, int] = {}
         for page, changed in interval.pages.items():
-            wire = estimate_wire_bytes(changed)
-            if self.checker is not None:
-                self.checker.on_diff_created(interval, page, eager=True)
-            interval.diffs_made.add(page)
-            self.counters.diffs_created += 1
-            self.counters.diff_bytes_created += changed
-            self.pages[node].consume_twin(page)
-            for other in range(self.config.num_nodes):
-                if (other == node or other in self.dead or
-                        not self.pages[other].is_valid(page)):
-                    continue
+            if self.ablate.twins:
+                wires[page] = estimate_wire_bytes(changed)
+                if self.checker is not None:
+                    self.checker.on_diff_created(interval, page, eager=True)
+                interval.diffs_made.add(page)
+                self.counters.diffs_created += 1
+                self.counters.diff_bytes_created += changed
+                self.pages[node].consume_twin(page)
+            else:
+                # Twin ablation: no twin, no diff — push the whole
+                # current page copy to each holder instead.
+                wires[page] = self.config.page_bytes
+        for other in range(self.config.num_nodes):
+            if other == node or other in self.dead:
+                continue
+            held = [page for page in interval.pages
+                    if self.pages[other].is_valid(page)]
+            if not held:
+                continue
+            # The receiver's copies are updated in place: it will not
+            # fault on these pages for this interval.  Only when the
+            # push covers *every* page the interval wrote may the
+            # interval be marked seen — a partial receiver must still
+            # apply the interval's write notices at its next sync, or
+            # a later read of an unheld page would be stale.
+            covers_all = len(held) == len(interval.pages)
+            for page in held:
                 if self.checker is not None:
                     self.checker.on_eager_push(other, interval, page)
-                # The receiver's copy is updated in place: it will not
-                # fault on this interval later.  Mark the interval seen.
+                if not self.ablate.twins:
+                    self.counters.pages_shipped_whole += 1
+                if covers_all:
+                    on_delivered = (lambda _t, o=other,
+                                    iv=interval: self._eager_applied(o, iv))
+                else:
+                    on_delivered = (lambda _t, o=other,
+                                    pg=page: self._eager_refreshed(o, pg))
                 self.net.send(
-                    node, other, wire,
+                    node, other, wires[page],
                     kind=MsgKind.DIFF_RESPONSE, data_kind=DataKind.MISS,
-                    on_delivered=lambda _t, o=other, n=node,
-                    iv=interval: self._eager_applied(o, iv))
+                    on_delivered=on_delivered)
 
     def _eager_applied(self, other: int, interval: Interval) -> None:
         vc = self.vcs[other]
@@ -527,6 +651,10 @@ class TreadMarksDsm:
         if self.page_refreshed_hook is not None:
             for page in interval.pages:
                 self.page_refreshed_hook(other, page)
+
+    def _eager_refreshed(self, other: int, page: int) -> None:
+        if self.page_refreshed_hook is not None:
+            self.page_refreshed_hook(other, page)
 
     # ==================================================================
     # crash-stop recovery (repro.recover)

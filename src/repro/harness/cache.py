@@ -57,7 +57,11 @@ from repro.stats.result import RunResult
 #: v4: crash-stop recovery — Counters grew detection/recovery fields
 #: and RunResult grew ``degraded``; pre-recovery entries would replay
 #: with silently-zero recovery metadata.
-CACHE_VERSION = 4
+#: v5: ablation engine — Counters grew pages_shipped_whole /
+#: eager_fetches / eager_releases plus the WRITE_NOTICE message kind,
+#: and the default path now counts diffs_merged; pre-ablation entries
+#: would replay with silently-zero or missing counters.
+CACHE_VERSION = 5
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

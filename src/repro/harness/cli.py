@@ -43,7 +43,8 @@ from typing import List, Optional
 from repro import (ConfigurationError, ResultCache, Scale, run_context,
                    trace_session)
 from repro.harness.cache import default_cache_dir, default_ledger_path
-from repro.harness.experiments import (REGISTRY, failure_sweep_options,
+from repro.harness.experiments import (REGISTRY, ablation_sweep_options,
+                                       failure_sweep_options,
                                        fault_sweep_options,
                                        list_experiments, run_experiment,
                                        sync_sweep_options)
@@ -122,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="sync-sweep: machine to include "
                              "(repeatable; default: as, ah, hs)")
+    _add_ablation_options(runner)
     _add_exec_options(runner)
     runner.set_defaults(func=cmd_run)
 
@@ -207,8 +209,52 @@ def build_parser() -> argparse.ArgumentParser:
     fuzzer.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="parallel simulation workers "
                              "(0 = all cores; default: 1)")
+    fuzzer.add_argument("--ablation-iters", type=int, default=0,
+                        metavar="N",
+                        help="additional random-ablation differential "
+                             "cases (each runs one program on software "
+                             "machines with a seeded random mechanism "
+                             "subset switched off; default: 0)")
     fuzzer.set_defaults(func=cmd_fuzz)
+
+    ablater = sub.add_parser(
+        "ablate",
+        help="run the ablation-sweep experiment and print the ranked "
+             "which-mechanism-earns-its-cost report")
+    ablater.add_argument("--scale", choices=[s.value for s in Scale],
+                         default=Scale.TEST.value,
+                         help="problem-size scale (default: test)")
+    _add_ablation_options(ablater)
+    _add_exec_options(ablater)
+    ablater.set_defaults(func=cmd_ablate)
     return parser
+
+
+def _add_ablation_options(sub: argparse.ArgumentParser) -> None:
+    """--ablate-* grid options, shared by `run` and `ablate`."""
+    sub.add_argument("--ablate-mechanism", action="append",
+                     dest="ablate_mechanisms", metavar="NAME",
+                     default=None,
+                     help="ablation-sweep: mechanism to sweep "
+                          "(repeatable; twins/diffs/lazy_fetch/"
+                          "lazy_release/piggyback/diff_merge/backoff; "
+                          "default: all seven)")
+    sub.add_argument("--ablate-workload", action="append",
+                     dest="ablate_workloads", metavar="NAME",
+                     default=None,
+                     help="ablation-sweep: workload to include "
+                          "(repeatable; default: sor_sim, tsp19, "
+                          "mwater)")
+    sub.add_argument("--ablate-machine", action="append",
+                     dest="ablate_machines", metavar="NAME",
+                     default=None,
+                     help="ablation-sweep: software machine to include "
+                          "(repeatable; default: as and hs)")
+    sub.add_argument("--ablate-grid", action="append",
+                     dest="ablate_grids", metavar="GRID", default=None,
+                     help="ablation-sweep: spec grid — 'loo' (leave "
+                          "one out) and/or 'only' (one mechanism "
+                          "kept); repeatable; default: loo")
 
 
 def _add_exec_options(sub: argparse.ArgumentParser) -> None:
@@ -328,6 +374,25 @@ def _sync_overrides(args: argparse.Namespace, ids: List[str]):
     return overrides or None
 
 
+def _ablation_overrides(args: argparse.Namespace, ids: List[str]):
+    """Build ablation_sweep_options kwargs from CLI flags (or None)."""
+    overrides = {}
+    if args.ablate_mechanisms is not None:
+        overrides["mechanisms"] = tuple(args.ablate_mechanisms)
+    if args.ablate_workloads is not None:
+        overrides["workloads"] = tuple(args.ablate_workloads)
+    if args.ablate_machines is not None:
+        overrides["machines"] = tuple(args.ablate_machines)
+    if args.ablate_grids is not None:
+        overrides["grids"] = tuple(args.ablate_grids)
+    if overrides and "ablation-sweep" not in ids:
+        raise ConfigurationError(
+            "--ablate-mechanism/--ablate-workload/--ablate-machine/"
+            "--ablate-grid parameterize the 'ablation-sweep' "
+            "experiment, which is not among the ids to run")
+    return overrides or None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scale = Scale(args.scale)
     ids = _resolve_ids(args.ids)
@@ -337,6 +402,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         fault_overrides = _fault_overrides(args, ids)
         failure_overrides = _failure_overrides(args, ids)
         sync_overrides = _sync_overrides(args, ids)
+        ablation_overrides = _ablation_overrides(args, ids)
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -360,7 +426,10 @@ def cmd_run(args: argparse.Namespace) -> int:
                    if failure_overrides else contextlib.nullcontext())
     sync_ctx = (sync_sweep_options(**sync_overrides)
                 if sync_overrides else contextlib.nullcontext())
-    with fault_ctx, failure_ctx, sync_ctx, ledger_session(ledger), \
+    ablation_ctx = (ablation_sweep_options(**ablation_overrides)
+                    if ablation_overrides else contextlib.nullcontext())
+    with fault_ctx, failure_ctx, sync_ctx, ablation_ctx, \
+            ledger_session(ledger), \
             run_context(jobs=args.jobs, cache=cache, ledger=ledger,
                         quiet=args.quiet):
         if args.metrics_out:
@@ -490,7 +559,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"seed(s) from {seeds_dir}")
     report = fuzz_run(args.seed, args.iters, shrink=args.shrink,
                       seeds_dir=seeds_dir, jobs=args.jobs,
-                      regression_programs=regressions, log=print)
+                      regression_programs=regressions,
+                      ablation_iters=args.ablation_iters, log=print)
     status = "PASS" if report.ok else "FAIL"
     print(f"[{status}] fuzz campaign seed={args.seed}: "
           f"{report.programs_run} programs "
@@ -499,6 +569,30 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     for outcome in report.failures:
         print(f"  - {outcome.reason}")
     return 0 if report.ok else 1
+
+
+def cmd_ablate(args: argparse.Namespace) -> int:
+    scale = Scale(args.scale)
+    try:
+        overrides = _ablation_overrides(args, ["ablation-sweep"])
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
+    ledger = _make_ledger(args)
+    ablation_ctx = (ablation_sweep_options(**overrides)
+                    if overrides else contextlib.nullcontext())
+    with ablation_ctx, ledger_session(ledger), \
+            run_context(jobs=args.jobs, cache=cache, ledger=ledger,
+                        quiet=args.quiet):
+        start = time.time()
+        report = run_experiment("ablation-sweep", scale)
+        elapsed = time.time() - start
+    print(report.text())
+    print(f"   [ablation-sweep at scale={scale.value} in "
+          f"{elapsed:.1f}s]")
+    _report_cache(cache, ledger)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -13,6 +13,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
+from repro.ablate import (MECHANISMS, AblationSpec, importance_score,
+                          metric_deltas, run_metrics)
 from repro.errors import ConfigurationError
 from repro.harness import fmt
 from repro.harness.parallel import RunPlan, execute_plan, run_grid
@@ -1006,6 +1008,184 @@ def run_sync_sweep(scale: Scale) -> Report:
     return report
 
 
+# ======================================================================
+# The mechanism design space: the ablation sweep
+# ======================================================================
+
+#: One barrier-heavy, one branch-and-bound, one lock-heavy workload —
+#: each DSM mechanism earns its keep on a different traffic pattern.
+ABLATION_SWEEP_WORKLOADS: Tuple[str, ...] = ("sor_sim", "tsp19", "mwater")
+
+#: The two software-DSM simulated architectures.  The hardware
+#: machines have none of the ablatable mechanisms and reject
+#: non-default specs.
+ABLATION_SWEEP_MACHINES: Tuple[str, ...] = ("as", "hs")
+
+#: Supported spec grids: ``loo`` (leave one mechanism out of the full
+#: protocol) and ``only`` (keep one mechanism, strip the rest).
+ABLATION_GRIDS: Tuple[str, ...] = ("loo", "only")
+
+
+@dataclass(frozen=True)
+class AblationSweepOptions:
+    """Parameters of the ``ablation-sweep`` experiment."""
+
+    mechanisms: Tuple[str, ...] = MECHANISMS
+    workloads: Tuple[str, ...] = ABLATION_SWEEP_WORKLOADS
+    machines: Tuple[str, ...] = ABLATION_SWEEP_MACHINES
+    grids: Tuple[str, ...] = ("loo",)
+    #: The backoff mechanism is inert on a lossless network, so its
+    #: cells run under a small-loss fault plan (ablated *and* its
+    #: full-protocol baseline, keeping the comparison paired).
+    loss_rate: float = 0.01
+    fault_seed: int = 42
+
+    def __post_init__(self) -> None:
+        for mech in self.mechanisms:
+            if mech not in MECHANISMS:
+                raise ConfigurationError(
+                    f"unknown mechanism '{mech}'; choose from "
+                    f"{', '.join(MECHANISMS)}")
+        for grid in self.grids:
+            if grid not in ABLATION_GRIDS:
+                raise ConfigurationError(
+                    f"unknown ablation grid '{grid}'; choose from "
+                    f"{', '.join(ABLATION_GRIDS)}")
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(loss_rate=self.loss_rate, seed=self.fault_seed)
+
+    def specs(self, grid: str) -> List[Tuple[str, AblationSpec]]:
+        """(mechanism, spec) cells of one grid, in mechanism order."""
+        if grid == "loo":
+            return [(m, AblationSpec.without(m)) for m in self.mechanisms]
+        return [(m, AblationSpec.only(m)) for m in self.mechanisms]
+
+
+_ablation_options: List[AblationSweepOptions] = []
+
+
+@contextmanager
+def ablation_sweep_options(**kwargs):
+    """Ambient overrides for ``ablation-sweep`` (mirrors ``run_context``)."""
+    opts = AblationSweepOptions(**kwargs)
+    _ablation_options.append(opts)
+    try:
+        yield opts
+    finally:
+        _ablation_options.pop()
+
+
+def current_ablation_options() -> AblationSweepOptions:
+    return _ablation_options[-1] if _ablation_options else \
+        AblationSweepOptions()
+
+
+@_register("ablation-sweep",
+           "Per-mechanism importance over the DSM protocol",
+           "DESIGN.md §8",
+           "Lazy diff fetching dominates on barrier-heavy SOR (eager "
+           "fetching refetches every invalidated page per sync); "
+           "diffs/twins matter most where pages are sparsely written "
+           "(Water); piggybacking saves a message per sync pair; "
+           "backoff only separates under loss.")
+def run_ablation_sweep(scale: Scale) -> Report:
+    opts = current_ablation_options()
+    top = max(SIMULATED_PROCS[scale])
+
+    # One plan for the whole grid.  Each (machine, workload) gets a
+    # full-protocol baseline; each swept mechanism gets one ablated
+    # cell per grid against that baseline.  Backoff cells (loo grid)
+    # pair a lossy ablated run with a lossy full-protocol baseline.
+    plan = RunPlan()
+    layout: List[Tuple] = []
+    for mname in opts.machines:
+        for workload in opts.workloads:
+            app = make_app(workload, scale)
+            full_index = plan.add(make_machine(mname), app, top)
+            faulty_full_index = None
+            if "backoff" in opts.mechanisms and "loo" in opts.grids:
+                faulty_full_index = plan.add(
+                    make_machine(mname, faults=opts.fault_plan()),
+                    app, top)
+            for grid in opts.grids:
+                for mech, spec in opts.specs(grid):
+                    if grid == "loo" and mech == "backoff":
+                        index = plan.add(
+                            make_machine(mname, faults=opts.fault_plan(),
+                                         ablate=spec), app, top)
+                        base_index = faulty_full_index
+                    else:
+                        index = plan.add(
+                            make_machine(mname, ablate=spec), app, top)
+                        base_index = full_index
+                    layout.append((mname, workload, grid, mech, spec,
+                                   base_index, index))
+    results = execute_plan(plan)
+
+    rows = []
+    cells: Dict[str, Dict] = {}
+    #: mechanism -> list of (score, cell key, deltas) over loo cells.
+    loo_scores: Dict[str, List[Tuple[float, str, Dict[str, float]]]] = {}
+    for mname, workload, grid, mech, spec, base_index, index in layout:
+        full = run_metrics(results[base_index])
+        ablated = run_metrics(results[index])
+        deltas = metric_deltas(full, ablated)
+        score = importance_score(full, ablated)
+        key = f"{mname}/{workload}"
+        rows.append([mname, workload, grid, spec.label(),
+                     deltas["seconds"], deltas["messages"],
+                     deltas["bytes"], deltas["diff_bytes"], score])
+        cells.setdefault(key, {}).setdefault(grid, {})[mech] = {
+            "spec": spec.label(),
+            "full": full,
+            "ablated": ablated,
+            "deltas": deltas,
+            "score": score,
+        }
+        if grid == "loo":
+            loo_scores.setdefault(mech, []).append((score, key, deltas))
+
+    # The ranked "which mechanism earns its cost" view: a mechanism's
+    # headline importance is its peak leave-one-out score over the
+    # swept (machine, workload) cells.
+    ranking = []
+    for mech, entries in loo_scores.items():
+        peak_score, peak_key, peak_deltas = max(entries)
+        ranking.append({
+            "mechanism": mech,
+            "score": peak_score,
+            "peak_cell": peak_key,
+            "peak_deltas": peak_deltas,
+            # Positive seconds delta: removing the mechanism slows the
+            # run down, i.e. the mechanism pays for itself.
+            "earns_cost": peak_deltas["seconds"] > 0,
+        })
+    ranking.sort(key=lambda e: e["score"], reverse=True)
+
+    report = Report("ablation-sweep",
+                    f"Mechanism importance at {top} processors "
+                    f"(leave-one-out{' + one-only' if 'only' in opts.grids else ''})")
+    report.lines = fmt.format_table(
+        ["machine", "program", "grid", "spec", "d.seconds", "d.msgs",
+         "d.bytes", "d.diffbytes", "score"], rows)
+    if ranking:
+        report.lines.append("")
+        report.lines.append("mechanism importance (peak leave-one-out "
+                            "score; + = removing it hurts):")
+        for rank, entry in enumerate(ranking, start=1):
+            sign = "+" if entry["earns_cost"] else "-"
+            report.lines.append(
+                f"{rank}. {entry['mechanism']:<13s} {entry['score']:8.3f} "
+                f"{sign}  peak at {entry['peak_cell']} "
+                f"(d.seconds {entry['peak_deltas']['seconds']:+.3f}, "
+                f"d.msgs {entry['peak_deltas']['messages']:+.3f})")
+    report.data = {"cells": cells, "ranking": ranking, "top_procs": top,
+                   "grids": list(opts.grids),
+                   "mechanisms": list(opts.mechanisms)}
+    return report
+
+
 def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
     """Run one experiment by id at the given scale."""
     return get_experiment(exp_id).run(scale)
@@ -1014,5 +1194,5 @@ def run_experiment(exp_id: str, scale: Scale = Scale.BENCH) -> Report:
 def list_experiments() -> List[Experiment]:
     order = (["t1", "t2"] + [f"fig{i}" for i in range(1, 17)] +
              ["x1", "x2", "x3", "x4", "a1", "a2", "a3", "fault-sweep",
-              "failure-sweep", "sync-sweep"])
+              "failure-sweep", "sync-sweep", "ablation-sweep"])
     return [REGISTRY[k] for k in order if k in REGISTRY]

@@ -57,6 +57,7 @@ def make_machine(name: str, nprocs: Optional[int] = None, *,
                  params: Union[None, Any, Dict[str, Any]] = None,
                  faults: Optional[Any] = None,
                  sync: Optional[Any] = None,
+                 ablate: Optional[Any] = None,
                  **kwargs: Any) -> Machine:
     """Build a machine by name — the stable construction entry point.
 
@@ -72,9 +73,13 @@ def make_machine(name: str, nprocs: Optional[int] = None, *,
     only); ``sync`` takes any :data:`~repro.sync.policy.SyncSpec` —
     a :class:`~repro.sync.SyncPolicy`, a spec string like
     ``"mcs+tree"``, or a mapping — selecting the lock/barrier
-    algorithms (every machine accepts every policy); remaining
-    keyword arguments go to the constructor (``kernel_level=True``,
-    ``eager_locks=...``).
+    algorithms (every machine accepts every policy); ``ablate``
+    takes any :data:`~repro.ablate.spec.AblationSpecLike` — an
+    :class:`~repro.ablate.AblationSpec`, a spec string like
+    ``"no-twins"``, or a mapping — selecting which DSM mechanisms
+    stay on (software DSM machines only; the hardware machines
+    reject non-default specs); remaining keyword arguments go to the
+    constructor (``kernel_level=True``, ``eager_locks=...``).
 
     The factory adds no state of its own: machines it returns are
     indistinguishable — fingerprints, cache keys, ledger records —
@@ -104,6 +109,9 @@ def make_machine(name: str, nprocs: Optional[int] = None, *,
     if sync is not None:
         from repro.sync import parse_sync
         kwargs["sync"] = parse_sync(sync)
+    if ablate is not None:
+        from repro.ablate import parse_ablation
+        kwargs["ablate"] = parse_ablation(ablate)
     machine = machine_cls(params, **kwargs)
     if nprocs is not None and nprocs > machine.max_procs():
         raise ConfigurationError(

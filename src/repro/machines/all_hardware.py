@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.ablate import parse_ablation
 from repro.dsm.bound import BoundMode
 from repro.errors import ConfigurationError
 from repro.hw.directory import DirectorySystem
@@ -88,13 +89,20 @@ class AllHardwareMachine(Machine):
     """AH: uniprocessor nodes + crossbar + directory coherence."""
 
     def __init__(self, params: Optional[AhParams] = None, *,
-                 faults=None, sync: SyncSpec = None) -> None:
+                 faults=None, sync: SyncSpec = None,
+                 ablate=None) -> None:
         super().__init__()
         if faults is not None and faults.enabled:
             raise ConfigurationError(
                 "ah keeps coherence in hardware over a reliable "
                 "crossbar; fault injection "
                 f"({faults.label()}) applies only to the software DSM "
+                "machines (treadmarks, as, hs)")
+        ablate = parse_ablation(ablate)
+        if not ablate.is_default:
+            raise ConfigurationError(
+                "ah has no software DSM: the ablatable mechanisms "
+                f"({ablate.label()}) exist only on the software "
                 "machines (treadmarks, as, hs)")
         self.params = params or AhParams()
         self.sync = parse_sync(sync)

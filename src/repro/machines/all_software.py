@@ -23,7 +23,8 @@ class AllSoftwareMachine(PagedDsmMachine):
                  overhead_preset: Optional[OverheadPreset] = None,
                  eager_locks=None,
                  faults: Optional[FaultPlan] = None,
-                 sync=None) -> None:
+                 sync=None,
+                 ablate=None) -> None:
         params = params or AsParams()
         if overhead_preset is not None:
             params = params.with_overhead(overhead_preset)
@@ -48,4 +49,5 @@ class AllSoftwareMachine(PagedDsmMachine):
             eager_locks=eager_locks,
             faults=faults,
             sync=sync,
+            ablate=ablate,
         )

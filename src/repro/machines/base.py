@@ -208,6 +208,12 @@ class Machine:
             # The default policy is the paper's protocol; like fault
             # plans, only a non-default policy forks the cache key.
             data["sync"] = fingerprint_value(sync)
+        ablate = getattr(self, "ablate", None)
+        if ablate is not None and not ablate.is_default:
+            # The all-on ablation spec is the paper's protocol and
+            # shares keys with machines built without the ablation
+            # layer; any off-toggle changes behaviour and forks it.
+            data["ablate"] = fingerprint_value(ablate)
         check_cfg = active_check_config()
         if check_cfg is not None:
             # Checked runs are timing-identical to clean ones, but a

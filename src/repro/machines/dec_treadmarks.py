@@ -24,7 +24,8 @@ class DecTreadMarksMachine(PagedDsmMachine):
                  use_diffs: bool = True,
                  max_procs: int = 8,
                  faults: Optional[FaultPlan] = None,
-                 sync=None) -> None:
+                 sync=None,
+                 ablate=None) -> None:
         params = params or DecAtmParams()
         if kernel_level:
             params = params.kernel_level()
@@ -46,4 +47,5 @@ class DecTreadMarksMachine(PagedDsmMachine):
             max_procs=max_procs,
             faults=faults,
             sync=sync,
+            ablate=ablate,
         )

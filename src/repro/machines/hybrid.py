@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.ablate import AblationSpecLike, parse_ablation
 from repro.dsm.bound import BoundMode
 from repro.dsm.protocol import DsmConfig, TreadMarksDsm
 from repro.errors import ConfigurationError
@@ -180,15 +181,19 @@ class HybridMachine(Machine):
     def __init__(self, params: Optional[HsParams] = None, *,
                  eager_locks=None,
                  faults: Optional[FaultPlan] = None,
-                 sync: SyncSpec = None) -> None:
+                 sync: SyncSpec = None,
+                 ablate: AblationSpecLike = None) -> None:
         super().__init__()
         self.params = params or HsParams()
         self.eager_locks = eager_locks
         self.faults = faults
         self.sync = parse_sync(sync)
+        self.ablate = parse_ablation(ablate)
         self.name = f"hs{self.params.procs_per_node}"
         if not self.sync.is_default:
             self.name = f"{self.name}-{self.sync.label()}"
+        if not self.ablate.is_default:
+            self.name = f"{self.name}-{self.ablate.label()}"
         if faults is not None and faults.enabled:
             self.name = f"{self.name}-{faults.label()}"
             self.watchdog_cycles = faults.watchdog_cycles
@@ -203,13 +208,17 @@ class HybridMachine(Machine):
         data = super().fingerprint_data(nprocs)
         if nprocs == 1:
             # One processor is one node: the DSM engages no remote
-            # machinery, so every sync policy is behaviourally
-            # identical and the 1-proc baseline is shared.  The name
-            # carries the policy suffix, so normalize it too.
+            # machinery, so every sync policy and ablation spec is
+            # behaviourally identical and the 1-proc baseline is
+            # shared.  The name carries the suffixes, so normalize it.
             data.pop("sync", None)
+            data.pop("ablate", None)
             if not self.sync.is_default:
                 data["name"] = data["name"].replace(
                     f"-{self.sync.label()}", "")
+            if not self.ablate.is_default:
+                data["name"] = data["name"].replace(
+                    f"-{self.ablate.label()}", "")
         return data
 
     def geometry(self) -> Geometry:
@@ -234,13 +243,15 @@ class HybridMachine(Machine):
             handler_servers=min(p.procs_per_node, nprocs),
         )
         if self.faults is not None and self.faults.enabled:
-            net = ReliableNetwork(net, self.faults)
+            net = ReliableNetwork(net, self.faults,
+                                  flat_retry=not self.ablate.backoff)
         dsm = TreadMarksDsm(net, space, p.overhead(), DsmConfig(
             num_nodes=num_nodes,
             page_bytes=p.page_bytes,
             eager_locks=self.eager_locks,
             local_grant_cycles=p.lock_handoff_cycles,
             sync=self.sync,
+            ablate=self.ablate,
         ))
         runtime = HybridRuntime(engine, space, counters, nprocs,
                                 params=p, net=net, dsm=dsm,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.ablate import parse_ablation
 from repro.dsm.bound import BoundMode
 from repro.errors import ConfigurationError
 from repro.hw.snoop import SnoopingSystem
@@ -79,7 +80,8 @@ class SgiMachine(Machine):
     """The SGI 4D/480."""
 
     def __init__(self, params: Optional[SgiParams] = None, *,
-                 faults=None, sync: SyncSpec = None) -> None:
+                 faults=None, sync: SyncSpec = None,
+                 ablate=None) -> None:
         super().__init__()
         if faults is not None and faults.enabled:
             raise ConfigurationError(
@@ -87,6 +89,12 @@ class SgiMachine(Machine):
                 "message-passing network path; fault injection "
                 f"({faults.label()}) applies only to the software DSM "
                 "machines (treadmarks, as, hs)")
+        ablate = parse_ablation(ablate)
+        if not ablate.is_default:
+            raise ConfigurationError(
+                "sgi keeps coherence in hardware: the ablatable DSM "
+                f"mechanisms ({ablate.label()}) exist only on the "
+                "software machines (treadmarks, as, hs)")
         self.params = params or SgiParams()
         self.sync = parse_sync(sync)
         self.name = "sgi"

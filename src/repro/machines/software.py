@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.ablate import AblationSpecLike, parse_ablation
 from repro.dsm.bound import BoundMode
 from repro.dsm.protocol import DsmConfig, TreadMarksDsm
 from repro.machines.base import Machine, Runtime
@@ -128,12 +129,16 @@ class PagedDsmMachine(Machine):
                  use_diffs: bool = True,
                  max_procs: Optional[int] = None,
                  faults: Optional[FaultPlan] = None,
-                 sync: SyncSpec = None) -> None:
+                 sync: SyncSpec = None,
+                 ablate: AblationSpecLike = None) -> None:
         super().__init__()
         self.sync = parse_sync(sync)
+        self.ablate = parse_ablation(ablate)
         self.name = name if use_diffs else f"{name}-nodiff"
         if not self.sync.is_default:
             self.name = f"{self.name}-{self.sync.label()}"
+        if not self.ablate.is_default:
+            self.name = f"{self.name}-{self.ablate.label()}"
         self._clock_hz = clock_hz
         self.page_bytes = page_bytes
         self.cache = cache
@@ -197,6 +202,11 @@ class PagedDsmMachine(Machine):
             # The default policy is the paper's protocol; non-default
             # policies change message flows and must fork the key.
             data["sync"] = fingerprint_value(self.sync)
+        if not self.ablate.is_default:
+            # The all-on spec is the paper's protocol and must share
+            # keys with machines built without the ablation layer;
+            # any off-toggle changes behaviour and forks the key.
+            data["ablate"] = fingerprint_value(self.ablate)
         if self.faults is not None and self.faults.enabled:
             # Disabled plans are behaviourally inert and share keys
             # with clean runs; enabled plans never may.
@@ -221,13 +231,15 @@ class PagedDsmMachine(Machine):
             header_bytes=self.header_bytes,
         )
         if self.faults is not None and self.faults.enabled:
-            net = ReliableNetwork(net, self.faults)
+            net = ReliableNetwork(net, self.faults,
+                                  flat_retry=not self.ablate.backoff)
         dsm = TreadMarksDsm(net, space, self.overhead, DsmConfig(
             num_nodes=nprocs,
             page_bytes=self.page_bytes,
             eager_locks=self.eager_locks,
             use_diffs=self.use_diffs,
             sync=self.sync,
+            ablate=self.ablate,
         ))
         if self.eager_locks:
             bound_mode = BoundMode.EAGER

@@ -93,9 +93,14 @@ class ReliableNetwork:
     an :class:`AtmNetwork` is expected.
     """
 
-    def __init__(self, inner: AtmNetwork, plan: FaultPlan) -> None:
+    def __init__(self, inner: AtmNetwork, plan: FaultPlan, *,
+                 flat_retry: bool = False) -> None:
         self.inner = inner
         self.plan = plan
+        #: Backoff ablation (repro.ablate): retransmission timers use
+        #: the base RTO on every attempt instead of the retry
+        #: schedule's growing backoff.
+        self.flat_retry = flat_retry
         self.injector = FaultInjector(plan, inner.num_nodes)
         self.engine = inner.engine
         self.counters = inner.counters
@@ -173,6 +178,14 @@ class ReliableNetwork:
                            on_abandoned=on_abandoned)
         return self._attempt(tx, now)
 
+    def _rto(self, tx: _Transmission) -> int:
+        """The retransmission timeout for ``tx``'s current attempt.
+
+        With ``flat_retry`` (the backoff ablation) every attempt waits
+        the base RTO, as if it were the first."""
+        attempt = 1 if self.flat_retry else tx.attempt
+        return self.plan.retry.rto_for(tx.base_rto, attempt)
+
     # ------------------------------------------------------------------
     def _abandon(self, tx: _Transmission, now: int) -> None:
         """Give up on ``tx`` (dead destination); fire the fallback."""
@@ -239,7 +252,7 @@ class ReliableNetwork:
             # A frame to a down host is lost exactly like a dropped
             # one: silently, with the timeout wait as its only cost.
             self.counters.messages_dropped += 1
-            rto = self.plan.retry.rto_for(tx.base_rto, tx.attempt)
+            rto = self._rto(tx)
             self._note("frame_lost", now, tx)
             if tracer.enabled:
                 tracer.instant(tx.src, Category.RECOVERY, "frame_lost",
@@ -300,7 +313,7 @@ class ReliableNetwork:
             self._note("dead_host_loss", time, tx)
             if tx.timer_attempt < tx.attempt:
                 tx.timer_attempt = tx.attempt
-                rto = self.plan.retry.rto_for(tx.base_rto, tx.attempt)
+                rto = self._rto(tx)
                 self.engine.schedule_at(max(self.engine.now,
                                             tx.last_sent + rto),
                                         self._timeout, tx, rto)

@@ -29,6 +29,10 @@ class MsgKind(Enum):
     PAGE_REQUEST = "page_request"
     PAGE_RESPONSE = "page_response"
     BOUND_UPDATE = "bound_update"
+    #: Standalone write-notice message: only sent when the ablation
+    #: layer turns write-notice piggybacking off (consistency data
+    #: normally rides lock-grant / barrier messages).
+    WRITE_NOTICE = "write_notice"
 
     @property
     def is_sync(self) -> bool:
@@ -49,6 +53,7 @@ _SYNC_KINDS = {
     MsgKind.BARRIER_ARRIVE,
     MsgKind.BARRIER_DEPART,
     MsgKind.BOUND_UPDATE,
+    MsgKind.WRITE_NOTICE,
 }
 
 
@@ -93,7 +98,21 @@ class Counters:
     diff_bytes_created: int = 0
     write_notices_sent: int = 0
     pages_invalidated: int = 0
+    #: Per-interval diff responses a creator folded into one merged
+    #: response (the diff-merge mechanism; its ablation sends them
+    #: individually instead).
     diffs_merged: int = 0
+
+    # -- mechanism ablations (repro.ablate) --------------------------------
+    #: Whole-page copies shipped in place of diffs (twins off).
+    pages_shipped_whole: int = 0
+    #: Pages fetched at notice-apply time instead of on access fault
+    #: (lazy_fetch off).
+    eager_fetches: int = 0
+    #: Lock releases that eagerly pushed their interval's diffs
+    #: because the ablation disabled lazy release (lazy_release off;
+    #: per-lock ``eager_locks`` pushes are not counted here).
+    eager_releases: int = 0
 
     # -- reliable delivery / fault recovery -------------------------------
     messages_dropped: int = 0

@@ -1,0 +1,268 @@
+"""Mechanism ablations threaded through the machines: spec grammar,
+identity pins, fingerprint discipline, correctness under every
+single-mechanism-off configuration, and sweep determinism."""
+
+import itertools
+
+import pytest
+
+from repro import Scale, make_app, make_machine
+from repro.ablate import (ALL_ON, DEFAULT_ABLATION, MECHANISMS,
+                          AblationSpec, leave_one_out, one_only,
+                          parse_ablation)
+from repro.check.checker import checking
+from repro.errors import ConfigurationError
+from repro.harness.cache import ResultCache, run_key
+from repro.harness.parallel import RunPlan, execute_plan
+
+SOFTWARE_MACHINES = ("treadmarks", "as", "hs")
+ALL_MACHINES = ("treadmarks", "sgi", "as", "ah", "hs")
+
+
+# ======================================================================
+# the spec and its grammar
+# ======================================================================
+def test_spec_defaults_and_label():
+    assert ALL_ON.is_default
+    assert ALL_ON is DEFAULT_ABLATION or ALL_ON == DEFAULT_ABLATION
+    assert ALL_ON.label() == "full"
+    assert ALL_ON.off_mechanisms() == ()
+    spec = AblationSpec.without("twins", "diffs")
+    assert not spec.is_default
+    assert spec.label() == "no-twins+diffs"  # MECHANISMS declaration order
+    assert spec.off_mechanisms() == ("twins", "diffs")
+
+
+def test_only_inverts_without():
+    spec = AblationSpec.only("twins")
+    assert spec.on_mechanisms() == ("twins",)
+    assert set(spec.off_mechanisms()) == set(MECHANISMS) - {"twins"}
+
+
+def test_parse_ablation_grammar():
+    assert parse_ablation(None) == ALL_ON
+    assert parse_ablation("full") == ALL_ON
+    assert parse_ablation("no-twins") == AblationSpec.without("twins")
+    assert parse_ablation("no-twins+diffs") == \
+        AblationSpec.without("diffs", "twins")
+    assert parse_ablation("only-twins") == AblationSpec.only("twins")
+    assert parse_ablation({"twins": False}) == \
+        AblationSpec.without("twins")
+    spec = AblationSpec.without("backoff")
+    assert parse_ablation(spec) is spec
+
+
+def test_parse_ablation_rejects_unknown_mechanism():
+    with pytest.raises(ConfigurationError):
+        parse_ablation("no-telepathy")
+    with pytest.raises(ConfigurationError):
+        parse_ablation({"telepathy": False})
+    with pytest.raises(ConfigurationError):
+        AblationSpec.without("telepathy")
+
+
+def test_grid_builders_cover_every_mechanism():
+    loo = leave_one_out()
+    assert [s.off_mechanisms() for s in loo] == [(m,) for m in MECHANISMS]
+    only = one_only()
+    assert [s.on_mechanisms() for s in only] == [(m,) for m in MECHANISMS]
+
+
+# ======================================================================
+# identity pins: all-on is byte-identical to the pre-ablation machine
+# ======================================================================
+def test_all_on_leaves_name_and_fingerprint_alone():
+    """`ablate=None`, the explicit all-on spec, and the pre-ablation
+    constructor surface are one and the same machine — old cache
+    entries and goldens stay valid."""
+    for name in ALL_MACHINES:
+        plain = make_machine(name)
+        explicit = make_machine(name, ablate="full")
+        assert explicit.name == plain.name
+        for nprocs in (1, 8):
+            assert explicit.fingerprint(nprocs) == \
+                plain.fingerprint(nprocs), name
+
+
+@pytest.mark.parametrize("name", SOFTWARE_MACHINES)
+def test_all_on_runs_summary_identical(name, pingpong):
+    plain = make_machine(name).run(pingpong, 4)
+    explicit = make_machine(name, ablate=AblationSpec.all_on()).run(
+        pingpong, 4)
+    assert explicit.summary() == plain.summary()
+
+
+def test_off_toggle_forks_name_and_fingerprint():
+    for name in SOFTWARE_MACHINES:
+        plain = make_machine(name)
+        ablated = make_machine(name, ablate="no-twins")
+        assert ablated.name == f"{plain.name}-no-twins"
+        assert ablated.fingerprint(8) != plain.fingerprint(8), name
+
+
+def test_software_ablations_share_the_uniprocessor_baseline():
+    """At one node the DSM engages no mechanisms at all, so every
+    ablation shares the 1-proc baseline (one simulation, one cache
+    entry, for the whole sweep)."""
+    for name in SOFTWARE_MACHINES:
+        plain = make_machine(name)
+        for spec in leave_one_out():
+            ablated = make_machine(name, ablate=spec)
+            assert ablated.fingerprint(1) == plain.fingerprint(1), \
+                (name, spec.label())
+
+
+def test_distinct_specs_never_collide():
+    """Cache-key discipline: pairwise over the leave-one-out grid
+    plus full, no two specs may alias a fingerprint."""
+    app = make_app("sor_sim", Scale.TEST)
+    specs = [ALL_ON] + leave_one_out()
+    keys = {}
+    for spec in specs:
+        key = run_key(make_machine("as", ablate=spec), app, 8)
+        keys[spec.label()] = key
+    for (la, ka), (lb, kb) in itertools.combinations(keys.items(), 2):
+        assert ka != kb, (la, lb)
+    assert len(set(keys.values())) == len(specs)
+
+
+def test_hardware_machines_reject_ablations():
+    for name in ("sgi", "ah"):
+        make_machine(name, ablate="full")  # default is fine
+        with pytest.raises(ConfigurationError):
+            make_machine(name, ablate="no-twins")
+
+
+# ======================================================================
+# correctness: ablations change traffic and timing, never results
+# ======================================================================
+@pytest.mark.parametrize("name", SOFTWARE_MACHINES)
+@pytest.mark.parametrize("mech", MECHANISMS)
+def test_apps_verify_under_every_single_off(name, mech, pingpong):
+    """Every single-mechanism-off config must produce the results of
+    the full protocol, with the online checker armed."""
+    baseline = make_machine(name).run(pingpong, 4)
+    with checking(history=True):
+        result = make_machine(
+            name, ablate=AblationSpec.without(mech)).run(pingpong, 4)
+    assert result.app_output == baseline.app_output, (name, mech)
+
+
+@pytest.mark.parametrize("name", SOFTWARE_MACHINES)
+def test_locks_verify_with_everything_off(name, lockcounter):
+    """The harshest point of the grid: every mechanism off at once."""
+    spec = AblationSpec.without(*MECHANISMS)
+    with checking(history=True):
+        result = make_machine(name, ablate=spec).run(lockcounter, 4)
+    assert result.app_output == {"count": 4 * lockcounter.increments}
+
+
+# ======================================================================
+# mechanisms actually disengage (counters prove the fork)
+# ======================================================================
+def test_no_twins_ships_whole_pages(pingpong):
+    full = make_machine("as").run(pingpong, 4)
+    ablated = make_machine("as", ablate="no-twins").run(pingpong, 4)
+    assert full.counters.twins_created > 0
+    assert ablated.counters.twins_created == 0
+    assert ablated.counters.pages_shipped_whole > 0
+    assert ablated.counters.diffs_created == 0
+
+
+def test_no_diffs_inflates_bytes(pingpong):
+    full = make_machine("as").run(pingpong, 4)
+    ablated = make_machine("as", ablate="no-diffs").run(pingpong, 4)
+    assert ablated.counters.total_bytes > full.counters.total_bytes
+
+
+def test_no_lazy_release_pushes_eagerly(lockcounter):
+    full = make_machine("as").run(lockcounter, 4)
+    ablated = make_machine("as", ablate="no-lazy_release").run(
+        lockcounter, 4)
+    assert full.counters.eager_releases == 0
+    assert ablated.counters.eager_releases > 0
+
+
+def test_no_lazy_fetch_prefetches(pingpong):
+    ablated = make_machine("as", ablate="no-lazy_fetch").run(pingpong, 4)
+    assert ablated.counters.eager_fetches > 0
+
+
+def test_no_piggyback_sends_standalone_notices(pingpong):
+    from repro.stats.counters import MsgKind
+    full = make_machine("as").run(pingpong, 4)
+    ablated = make_machine("as", ablate="no-piggyback").run(pingpong, 4)
+    assert full.counters.messages.get(MsgKind.WRITE_NOTICE, 0) == 0
+    assert ablated.counters.messages.get(MsgKind.WRITE_NOTICE, 0) > 0
+
+
+# ======================================================================
+# sweep determinism: serial == pool == warm cache
+# ======================================================================
+def test_ablation_cells_serial_equals_pool_equals_cache(tmp_path):
+    app = make_app("sor_sim", Scale.TEST)
+    specs = ("full", "no-twins", "no-diffs")
+
+    def plan():
+        p = RunPlan()
+        for spec in specs:
+            for nprocs in (1, 4):
+                p.add(make_machine("as", ablate=spec), app, nprocs)
+        return p
+
+    serial = [r.summary() for r in execute_plan(plan(), jobs=1)]
+    pooled = [r.summary() for r in execute_plan(plan(), jobs=2)]
+    assert serial == pooled
+
+    cache = ResultCache(str(tmp_path))
+    cold = [r.summary() for r in execute_plan(plan(), jobs=1,
+                                              cache=cache)]
+    warm = [r.summary() for r in execute_plan(plan(), jobs=1,
+                                              cache=cache)]
+    assert cold == serial
+    assert warm == serial
+    # The three 1-proc cells share one cached baseline entry, so the
+    # warm pass hits 4 distinct keys (3 specs at 4 procs + 1 baseline).
+    assert cache.stats()["hits"] >= 4
+
+
+# ======================================================================
+# the fuzzer's ablation leg
+# ======================================================================
+def test_generate_ablation_program_is_seeded():
+    from repro.check.fuzz import generate_ablation_program
+    a = generate_ablation_program((3, 1))
+    b = generate_ablation_program((3, 1))
+    c = generate_ablation_program((3, 2))
+    assert a == b
+    assert a != c
+    assert a["ablate"] and set(a["ablate"]) <= set(MECHANISMS)
+    assert a["ablate"] == sorted(a["ablate"])
+
+
+def test_shrinker_minimizes_the_toggle_set():
+    """A failure that only needs one toggle must shrink to exactly
+    that toggle (and toggle drops are tried before structural cuts)."""
+    from repro.check.fuzz import (_variants, generate_ablation_program,
+                                  shrink_program)
+    program = generate_ablation_program((5, 0))
+    program["ablate"] = ["diffs", "lazy_release", "twins"]
+
+    first = next(iter(_variants(program)))
+    assert first.get("ablate", []) != program["ablate"]
+
+    minimal = shrink_program(
+        program, lambda p: "twins" in (p.get("ablate") or ()))
+    assert minimal["ablate"] == ["twins"]
+
+
+def test_fuzz_differential_covers_ablated_legs(lockcounter):
+    from repro.check.fuzz import generate_ablation_program, run_program
+    program = generate_ablation_program((9, 0))
+    program["ablate"] = ["lazy_release"]
+    outcome = run_program(program, jobs=1, history=True)
+    assert outcome.ok, outcome.reason
+    labels = [v.machine for v in outcome.verdicts]
+    assert "treadmarks-no-lazy_release" in labels
+    assert "as-no-lazy_release" in labels
+    assert "hs2-no-lazy_release" in labels

@@ -51,6 +51,27 @@ def test_fresh_counters_all_zero():
     assert all(v == 0 for v in d.values())
 
 
+def test_ablation_counters_roundtrip():
+    """The mechanism-ablation counters ride as_dict and the jsonable
+    round-trip like every other field (dataclasses.fields coverage
+    means adding one can never silently vanish from summaries)."""
+    import dataclasses
+
+    c = Counters()
+    c.pages_shipped_whole = 7
+    c.eager_fetches = 11
+    c.eager_releases = 13
+    c.count_message(MsgKind.WRITE_NOTICE, 64, DataKind.CONSISTENCY, 40)
+    d = c.as_dict()
+    assert d["pages_shipped_whole"] == 7
+    assert d["eager_fetches"] == 11
+    assert d["eager_releases"] == 13
+    assert d["msg.write_notice"] == 1
+    restored = Counters.from_jsonable(c.to_jsonable())
+    for f in dataclasses.fields(c):
+        assert getattr(restored, f.name) == getattr(c, f.name), f.name
+
+
 def test_as_dict_covers_every_field():
     """Every dataclass field appears in as_dict — scalar fields under
     their own name, dict fields flattened with msg./bytes. prefixes —

@@ -14,7 +14,8 @@ from repro.harness.workloads import (EXPERIMENTAL_PROCS, WORKLOADS,
 def test_registry_covers_every_paper_artifact():
     expected = (["t1", "t2"] + [f"fig{i}" for i in range(1, 17)] +
                 ["x1", "x2", "x3", "x4", "a1", "a2", "a3",
-                 "fault-sweep", "failure-sweep", "sync-sweep"])
+                 "fault-sweep", "failure-sweep", "sync-sweep",
+                 "ablation-sweep"])
     assert set(REGISTRY) == set(expected)
     assert [e.exp_id for e in list_experiments()] == expected
 

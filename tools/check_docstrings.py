@@ -5,7 +5,8 @@ Walks, with nothing but the standard library's ``ast``:
 * every symbol exported through ``repro.__all__`` — resolved to the
   module that defines it, then to its class/function definition, and
 * every module, class, public function and public method of the
-  ``repro.sync`` package (the subsystem this gate shipped with).
+  ``repro.sync`` package (the subsystem this gate shipped with)
+  and the ``repro.ablate`` package.
 
 A definition *passes* when it (or, for ``__init__``, its class) has a
 docstring.  Names starting with ``_`` are private and exempt, as are
@@ -106,12 +107,12 @@ def collect_definitions(path: str) -> List[Definition]:
 
 
 def public_surface() -> Tuple[Dict[str, Tuple[str, int]], List[str]]:
-    """(__all__ symbol -> defining location, repro.sync file list).
+    """(__all__ symbol -> defining location, gated package files).
 
     Imports ``repro`` to read ``__all__`` and resolve each export to
-    the file and line of its definition; ``repro.sync`` files come
-    from the package path so *new* undocumented code cannot hide by
-    not being imported.
+    the file and line of its definition; the ``repro.sync`` and
+    ``repro.ablate`` files come from the package paths so *new*
+    undocumented code cannot hide by not being imported.
     """
     import importlib
     import inspect
@@ -134,14 +135,17 @@ def public_surface() -> Tuple[Dict[str, Tuple[str, int]], List[str]]:
             continue
         locations[symbol] = (path, line)
 
-    sync_root = os.path.join(SRC_ROOT, "repro", "sync")
-    return locations, list(iter_py_files(sync_root))
+    package_files: List[str] = []
+    for package in ("sync", "ablate"):
+        root = os.path.join(SRC_ROOT, "repro", package)
+        package_files.extend(iter_py_files(root))
+    return locations, package_files
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="docstring-coverage gate for repro.__all__ and "
-                    "repro.sync")
+        description="docstring-coverage gate for repro.__all__, "
+                    "repro.sync, and repro.ablate")
     parser.add_argument("--verbose", action="store_true",
                         help="list every definition checked")
     args = parser.parse_args(argv)
@@ -150,7 +154,7 @@ def main(argv=None) -> int:
     exports, sync_files = public_surface()
 
     # Files under the gate: every file defining an __all__ export,
-    # plus the whole repro.sync package.
+    # plus the whole repro.sync and repro.ablate packages.
     files = sorted({path for path, _line in exports.values()}
                    | set(sync_files))
 
@@ -167,7 +171,7 @@ def main(argv=None) -> int:
     covered = len(checked) - len(missing)
     print(f"docstring coverage: {covered}/{len(checked)} public "
           f"definitions across {len(files)} files "
-          f"({len(exports)} __all__ exports + repro.sync)")
+          f"({len(exports)} __all__ exports + gated packages)")
     if missing:
         print()
         for definition in missing:
